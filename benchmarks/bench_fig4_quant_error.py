@@ -1,0 +1,18 @@
+"""Fig. 4 — quantization-error distributions per granularity."""
+
+from repro.experiments import run_fig4
+from repro.models.resnet_imagenet import resnet34_slim
+from repro.utils import print_table
+
+
+def test_fig4_quantization_error(run_once):
+    result = run_once(run_fig4, resnet34_slim(), 8, 8)
+    print_table(result.headers, result.rows,
+                title="Fig. 4 — mean log2 relative quantization error", digits=2)
+    print(f"tap-wise gain over layer-wise (Winograd domain): "
+          f"{result.metadata['tapwise_gain_over_layerwise']:.2f}x "
+          f"(paper: 2.3x)")
+    rows = {(row[0], row[1]): row[2] for row in result.rows}
+    assert rows[("winograd", "tap")] < rows[("winograd", "layer")]
+    assert rows[("spatial", "channel")] <= rows[("spatial", "layer")] + 0.05
+    assert result.metadata["tapwise_gain_over_layerwise"] > 1.5

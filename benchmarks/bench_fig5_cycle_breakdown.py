@@ -1,0 +1,18 @@
+"""Fig. 5 — cycle-usage breakdown of im2col vs Winograd F4."""
+
+from repro.experiments import run_fig5
+from repro.utils import print_table
+
+
+def test_fig5_cycle_breakdown(run_once):
+    result = run_once(run_fig5)
+    print_table(result.headers, result.rows,
+                title="Fig. 5 — cycle breakdown normalised to im2col", digits=3)
+    f4_rows = [row for row in result.rows if row[1] == "F4"]
+    assert all(row[2] < 1.0 for row in f4_rows)
+    # The weight-phase share shrinks when the batch grows from 1 to 8
+    # (13% -> 2% in the paper for the 128-channel workload).
+    small = result.metadata["1, 32, 128, 128"]["weight_phase_fraction"]
+    large = result.metadata["8, 32, 128, 128"]["weight_phase_fraction"]
+    print(f"weight load+transform share: batch 1 = {small:.1%}, batch 8 = {large:.1%}")
+    assert large < small

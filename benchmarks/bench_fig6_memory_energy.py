@@ -1,0 +1,22 @@
+"""Fig. 6 — memory access counts and energy breakdown, F4 vs im2col."""
+
+from repro.experiments import run_fig6
+from repro.utils import print_table
+
+
+def test_fig6_memory_and_energy(run_once):
+    result = run_once(run_fig6, None, ("resnet34", "ssd_vgg16", "unet"), 1)
+    print_table(result.headers, result.rows,
+                title="Fig. 6 (left) — memory accesses of F4 normalised to im2col",
+                digits=2)
+    energy = result.metadata["energy_breakdown_vs_im2col"]
+    print_table(["component", "energy vs im2col total"],
+                [[k, v] for k, v in sorted(energy.items(), key=lambda kv: -kv[1])],
+                title="Fig. 6 (right) — F4 energy breakdown (im2col total = 1.0)",
+                digits=3)
+    print(f"total energy ratio F4/im2col: {result.metadata['total_energy_ratio']:.2f} "
+          f"(paper: < 0.5 for the Winograd layers)")
+    ratios = {row[0]: (row[1], row[2]) for row in result.rows}
+    assert ratios["L1_WT"][1] > 3.5          # 4x weight expansion into L1
+    assert ratios["L0A"][1] < 0.5            # 2.25/9 lowering-volume reduction
+    assert result.metadata["total_energy_ratio"] < 0.75

@@ -1,0 +1,21 @@
+"""Table I — transformation-engine performance/bandwidth + design-space sweep."""
+
+from repro.experiments import engine_design_space, run_table1
+from repro.utils import print_table
+
+
+def test_table1_engine_characteristics(run_once):
+    result = run_once(run_table1)
+    print_table(result.headers, result.rows,
+                title="Table I — Winograd transformation engines (per-PE)", digits=2)
+    by_key = {(row[0], row[1]): row for row in result.rows}
+    slow = by_key[("row-by-row slow", "BT (input)")]
+    fast = by_key[("row-by-row fast", "BT (input)")]
+    assert slow[2] == 12 and fast[2] == 6  # hT + wT vs hT cycles for F4
+
+
+def test_table1_engine_design_space(run_once):
+    result = run_once(engine_design_space)
+    print_table(result.headers, result.rows,
+                title="Engine design-space exploration (ablation)", digits=2)
+    assert len(result.rows) == 27

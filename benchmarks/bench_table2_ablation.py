@@ -1,0 +1,23 @@
+"""Table II — ablation of the tap-wise quantization training flow.
+
+Runs the full configuration grid on the substituted (synthetic) task with the
+fast study settings; see EXPERIMENTS.md for the paper-vs-measured discussion.
+"""
+
+from repro.experiments import StudySettings, run_table2
+from repro.utils import print_table
+
+
+def test_table2_ablation(run_once):
+    result = run_once(run_table2, StudySettings.fast())
+    print_table(result.headers, result.rows,
+                title="Table II — tap-wise quantization ablation (substitute task)",
+                digits=3)
+    rows = {row[0]: row for row in result.rows}
+    baseline = result.metadata["baseline_top1"]
+    print(f"baseline top-1: {baseline:.3f}")
+    # Shape checks mirroring the paper's conclusions.
+    layerwise = rows["F4-int8-WA"][-2]
+    tapwise = rows["F4-int8-WA+tap"][-2]
+    assert tapwise >= layerwise
+    assert rows["im2col-int8"][-2] >= baseline - 0.1

@@ -1,0 +1,32 @@
+"""Table IV — Winograd F4 vs im2col speed-up over the synthetic layer sweep."""
+
+from repro.experiments import (TABLE4_CHANNELS, run_table4)
+from repro.utils import print_table
+
+
+def test_table4_throughput_sweep(run_once):
+    result = run_once(run_table4)
+    # Print as the paper's grid: one row per (batch, resolution), one column
+    # per (Cin, Cout) pair.
+    speedups = {(row[0], row[1], row[2], row[3]): row[4] for row in result.rows}
+    headers = ["batch", "HW"] + [f"{cin}->{cout}" for cin, cout in TABLE4_CHANNELS]
+    grid = []
+    for batch in (1, 8):
+        for resolution in (16, 32, 64, 128):
+            grid.append([batch, resolution]
+                        + [speedups[(batch, resolution, cin, cout)]
+                           for cin, cout in TABLE4_CHANNELS])
+    print_table(headers, grid, title="Table IV — F4 speed-up over im2col", digits=2)
+    print(f"range: {result.metadata['min_speedup']:.2f}x .. "
+          f"{result.metadata['max_speedup']:.2f}x (paper: 0.99x .. 3.42x)")
+    assert 0.8 <= result.metadata["min_speedup"]
+    assert result.metadata["max_speedup"] <= 4.0
+
+
+def test_table4_f2_sweep(run_once):
+    """Ablation: the same sweep with the F2 operator (2.25x MAC reduction)."""
+    result = run_once(run_table4, None, "F2", (8,), (32, 128),
+                      ((128, 128), (256, 256)))
+    print_table(result.headers, result.rows, title="Table IV ablation — F2 operator",
+                digits=2)
+    assert result.metadata["max_speedup"] <= 2.3

@@ -1,0 +1,19 @@
+"""Table V — area and power breakdown of the AI core."""
+
+from repro.experiments import run_table5
+from repro.utils import print_table
+
+
+def test_table5_area_power_breakdown(run_once):
+    result = run_once(run_table5)
+    print_table(result.headers, result.rows,
+                title="Table V — AI core area/power breakdown", digits=3)
+    print(f"Winograd engines area fraction: "
+          f"{result.metadata['engine_area_fraction'] * 100:.1f}% (paper: 6.1%)")
+    print(f"Winograd engines power vs Cube: "
+          f"{result.metadata['engine_power_vs_cube'] * 100:.1f}% (paper: ~17%)")
+    print(f"Compute TOp/s/W — im2col: {result.metadata['tops_per_watt_im2col']:.2f} "
+          f"(paper 5.39), F4 equivalent: {result.metadata['tops_per_watt_f4']:.2f} "
+          f"(paper 17.04 Cube-only)")
+    assert 0.04 < result.metadata["engine_area_fraction"] < 0.08
+    assert result.metadata["tops_per_watt_f4"] > result.metadata["tops_per_watt_im2col"]

@@ -1,0 +1,22 @@
+"""Table VII — end-to-end throughput and energy efficiency on 7 CNNs."""
+
+from repro.experiments import run_table7
+from repro.utils import print_table
+
+
+def test_table7_full_network_evaluation(run_once):
+    result = run_once(run_table7)
+    print_table(result.headers, result.rows,
+                title="Table VII — full-network evaluation (im2col / F2 / F4)",
+                digits=2)
+    print(f"max F4 end-to-end speed-up: {result.metadata['max_f4_speedup']:.2f}x "
+          f"(paper: 1.83x); max energy-efficiency gain: "
+          f"{result.metadata['max_energy_gain']:.2f}x (paper: 1.85x)")
+    rows = {(r["network"], r["batch"]): r for r in result.as_dicts()}
+    # Network ordering: 3x3-heavy networks benefit most.
+    assert rows[("unet", 1)]["f4_vs_im2col"] > rows[("resnet50", 1)]["f4_vs_im2col"]
+    # Batch scaling: SSD 1.55x -> 1.83x in the paper.
+    assert (rows[("ssd_vgg16", 8)]["f4_vs_im2col"]
+            > rows[("ssd_vgg16", 1)]["f4_vs_im2col"])
+    assert result.metadata["max_f4_speedup"] < 3.0
+    assert result.metadata["max_energy_gain"] > 1.3

@@ -1,0 +1,97 @@
+"""Design-space exploration of the Winograd transformation engines.
+
+Reproduces the Section IV-B analysis that sizes the hardware:
+
+* shift-and-add cost of each transformation matrix (DFG + CSE),
+* row-by-row (slow/fast) vs tap-by-tap engines at several parallelism points,
+* accuracy-vs-tile-size trade-off (F2 / F4 / F6 bit growth),
+* the production/consumption rate matching argument that fixes the paper's
+  choice of engines (input: row-by-row, output: row-by-row fast, weights:
+  tap-by-tap).
+
+Run with:  python examples/winograd_engine_exploration.py
+"""
+
+import numpy as np
+
+from repro.accelerator import AICoreConfig
+from repro.utils import print_table
+from repro.winograd import (RowByRowEngine, TapByTapEngine, bit_growth,
+                            macs_reduction, transform_2d_cost, winograd_f2,
+                            winograd_f4, winograd_f6)
+
+
+def transform_costs() -> None:
+    rows = []
+    for transform in (winograd_f2(), winograd_f4(), winograd_f6()):
+        growth = bit_growth(transform)
+        for name, matrix in (("BT", transform.BT), ("G", transform.G),
+                             ("AT", transform.AT)):
+            cost = transform_2d_cost(matrix.T)
+            rows.append([transform.name, name, cost["one_d_adders"],
+                         cost["total_adders"], cost["total_sequential_cycles"],
+                         cost["nonzero_fraction"],
+                         growth["input" if name == "BT" else
+                                "weight" if name == "G" else "output"]])
+    print_table(["tile", "matrix", "1D adders", "2D adders", "seq. cycles",
+                 "non-zero frac", "extra bits"], rows,
+                title="Shift-and-add cost of the transformation matrices (DFG + CSE)",
+                digits=2)
+    print("\nMAC reduction: "
+          + ", ".join(f"{t.name}: {macs_reduction(t):.2f}x"
+                      for t in (winograd_f2(), winograd_f4(), winograd_f6())))
+
+
+def engine_tradeoffs() -> None:
+    transform = winograd_f4()
+    rows = []
+    for pc, ps in ((8, 1), (16, 1), (32, 2)):
+        for fast in (False, True):
+            engine = RowByRowEngine(transform.BT, pc=pc, ps=ps, fast=fast)
+            spec = engine.spec()
+            rows.append(["row-by-row " + ("fast" if fast else "slow"), pc, ps, "-",
+                         spec.transforms_per_cycle(), spec.read_bw, spec.write_bw,
+                         engine.total_adders()])
+    for pc, pt in ((2, 8), (4, 16), (8, 48)):
+        engine = TapByTapEngine(transform.G, pc=pc, ps=1, pt=pt)
+        spec = engine.spec()
+        rows.append(["tap-by-tap", pc, 1, pt, spec.transforms_per_cycle(),
+                     spec.read_bw, spec.write_bw, engine.total_adders()])
+    print_table(["engine", "Pc", "Ps", "Pt", "xforms/cycle", "rd B/cycle",
+                 "wr B/cycle", "total adders"], rows,
+                title="Engine parallelism sweep (F4)", digits=2)
+
+
+def rate_matching() -> None:
+    """The paper's sizing argument: engines must keep the Cube Unit fed."""
+    core = AICoreConfig()
+    transform = winograd_f4()
+    input_engine = RowByRowEngine(transform.BT, pc=32, ps=2, fast=False)
+    output_engine = RowByRowEngine(transform.AT, pc=16, ps=1, fast=True)
+
+    cube_ifm_rate = core.cube.ifm_operand_bytes_per_cycle
+    in_rate = (input_engine.parallel_transforms * transform.num_taps
+               / input_engine.cycles_per_transform)
+    reuse_needed = int(np.ceil(cube_ifm_rate / in_rate)) * core.cube.cols
+    print(f"\nInput engine produces {in_rate:.0f} taps/cycle vs Cube consuming "
+          f"{cube_ifm_rate} B/cycle -> the transformed iFM must be reused over "
+          f">= {reuse_needed} output channels (paper: 4x16 = 64).")
+
+    # Cube produces one 16x16 output tile per cycle; producing the 36 taps of
+    # a Winograd tile for 16 output channels takes 36 * ceil(Cin/32) cycles,
+    # while the fast output engine consumes them in 16 tiles * 6 cycles.
+    out_cycles_per_16_tiles = output_engine.cycles_per_transform * 16 / 16
+    min_cin_fast = int(np.ceil(out_cycles_per_16_tiles * 16 / transform.num_taps)) * 32
+    print(f"Output engine (fast) needs Cin >= ~{min_cin_fast} for the Cube to "
+          f"hide the back-transformation (paper: 96); the slow variant would "
+          f"need twice that (192), which is why the fast engine is chosen.")
+
+
+def main() -> None:
+    transform_costs()
+    engine_tradeoffs()
+    rate_matching()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro — reproduction of "Going Further With Winograd Convolutions:
+Tap-Wise Quantization for Efficient Inference on 4x4 Tiles" (MICRO 2022).
+
+The package is organised in two halves mirroring the paper:
+
+* the **algorithm**: :mod:`repro.winograd` (transforms and convolutions),
+  :mod:`repro.quant` (tap-wise quantization and Winograd-aware training),
+  backed by the :mod:`repro.nn` numpy autograd substrate, :mod:`repro.models`
+  and :mod:`repro.datasets`;
+* the **system**: :mod:`repro.accelerator`, a performance/energy model of the
+  Winograd-enhanced DSA and of the NVDLA comparison point.
+
+:mod:`repro.experiments` regenerates every table and figure of the paper's
+evaluation section; see DESIGN.md and EXPERIMENTS.md.
+"""
+
+from . import (accelerator, datasets, experiments, models, nn, quant, utils,
+               winograd)
+from .accelerator import AcceleratorSystem, NvdlaSystem
+from .quant import QatConfig, QuantWinogradConv2d, Quantizer
+from .winograd import WinogradTransform, winograd_conv2d, winograd_f2, winograd_f4
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn", "winograd", "quant", "models", "datasets", "accelerator",
+    "experiments", "utils",
+    "WinogradTransform", "winograd_f2", "winograd_f4", "winograd_conv2d",
+    "Quantizer", "QuantWinogradConv2d", "QatConfig",
+    "AcceleratorSystem", "NvdlaSystem",
+    "__version__",
+]

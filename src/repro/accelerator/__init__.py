@@ -1,0 +1,27 @@
+"""Performance and energy model of the Winograd-enhanced DSA (and NVDLA)."""
+
+from .area_power import (AreaPowerBreakdown, compute_tops_per_watt, core_breakdown,
+                         engine_area_model, winograd_extension_overhead)
+from .config import (AICoreConfig, CubeConfig, DramConfig, EngineConfig,
+                     MemoryConfig, PowerConfig, SystemConfig, VectorUnitConfig,
+                     default_system_config)
+from .energy import compute_energy
+from .nvdla import NvdlaConfig, NvdlaLayerResult, NvdlaSystem
+from .ops import LayerWorkload, run_im2col, run_winograd, winograd_supported
+from .profile import (BREAKDOWN_CATEGORIES, CycleBreakdown, EnergyBreakdown,
+                      LayerProfile, MemoryTraffic, NetworkProfile)
+from .system import AcceleratorSystem, NetworkComparison
+
+__all__ = [
+    "AcceleratorSystem", "NetworkComparison",
+    "SystemConfig", "AICoreConfig", "CubeConfig", "VectorUnitConfig",
+    "MemoryConfig", "DramConfig", "EngineConfig", "PowerConfig",
+    "default_system_config",
+    "LayerWorkload", "run_im2col", "run_winograd", "winograd_supported",
+    "LayerProfile", "NetworkProfile", "CycleBreakdown", "MemoryTraffic",
+    "EnergyBreakdown", "BREAKDOWN_CATEGORIES",
+    "compute_energy",
+    "NvdlaSystem", "NvdlaConfig", "NvdlaLayerResult",
+    "AreaPowerBreakdown", "core_breakdown", "winograd_extension_overhead",
+    "engine_area_model", "compute_tops_per_watt",
+]

@@ -1,0 +1,124 @@
+"""Area and power breakdown of the AI core (Table V).
+
+The absolute figures come from the paper's 28 nm implementation and are kept
+as a calibrated cost model (see DESIGN.md).  On top of the raw table this
+module derives the quantities the paper discusses in Section V-B2:
+
+* the relative overhead of the Winograd extensions (≈6.1 % of the core area,
+  ≈17 % of the Cube power),
+* energy efficiency (TOp/s/W) of the compute units for the im2col and the F4
+  Winograd kernels,
+* a relative area model of the transformation engines driven by the
+  shift-and-add DFG analysis, used for the engine design-space exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..winograd.engines import RowByRowEngine, TapByTapEngine
+from ..winograd.transforms import WinogradTransform
+from .config import TABLE_V_AREA_MM2, TABLE_V_POWER_MW, AICoreConfig
+
+__all__ = ["AreaPowerBreakdown", "core_breakdown", "winograd_extension_overhead",
+           "engine_area_model", "compute_tops_per_watt"]
+
+
+@dataclass
+class AreaPowerBreakdown:
+    """Area (mm²) and peak power (mW) per unit of one AI core."""
+
+    area_mm2: dict[str, float]
+    power_mw: dict[str, float]
+
+    @property
+    def total_area(self) -> float:
+        return float(sum(self.area_mm2.values()))
+
+    def area_fraction(self, unit: str) -> float:
+        return self.area_mm2.get(unit, 0.0) / self.total_area
+
+    def winograd_engine_area(self) -> float:
+        return sum(self.area_mm2.get(unit, 0.0)
+                   for unit in ("MTE1_IN_XFORM", "MTE1_WT_XFORM", "FIXPIPE_OUT_XFORM"))
+
+
+def core_breakdown(core: AICoreConfig | None = None) -> AreaPowerBreakdown:
+    """The Table V breakdown (plus memory areas from the config)."""
+    area = dict(TABLE_V_AREA_MM2)
+    power = dict(TABLE_V_POWER_MW)
+    if core is not None:
+        for memory in core.memories:
+            area.setdefault(memory.name, memory.area_mm2)
+    return AreaPowerBreakdown(area_mm2=area, power_mw=power)
+
+
+def winograd_extension_overhead(core: AICoreConfig | None = None) -> dict[str, float]:
+    """Overheads quoted in the abstract / Section V-B2.
+
+    Returns the area fraction of the three transformation engines and the
+    power of the engines relative to the Cube Unit.
+    """
+    breakdown = core_breakdown(core or AICoreConfig())
+    engine_area = breakdown.winograd_engine_area()
+    area_fraction = engine_area / breakdown.total_area
+    engine_power = (TABLE_V_POWER_MW["MTE1_IN_XFORM"]
+                    + TABLE_V_POWER_MW["FIXPIPE_OUT_XFORM"])
+    power_vs_cube = engine_power / TABLE_V_POWER_MW["CUBE_IM2COL"]
+    return {
+        "engine_area_mm2": engine_area,
+        "engine_area_fraction": area_fraction,
+        "active_engine_power_mw": engine_power,
+        "engine_power_vs_cube": power_vs_cube,
+        "cube_power_increase_winograd": (TABLE_V_POWER_MW["CUBE_WINOGRAD"]
+                                         / TABLE_V_POWER_MW["CUBE_IM2COL"]),
+    }
+
+
+def engine_area_model(transform: WinogradTransform,
+                      core: AICoreConfig | None = None) -> dict[str, dict[str, float]]:
+    """Relative area proxies (adder counts) of the three engine instances.
+
+    The DFG-based adder counts are normalised so that the input engine matches
+    its Table V area; the other engines are scaled by their adder counts —
+    a first-order area model used for the design-space exploration benches.
+    """
+    core = core or AICoreConfig()
+    input_engine = RowByRowEngine(transform.BT, pc=core.input_engine.pc,
+                                  ps=core.input_engine.ps,
+                                  fast=core.input_engine.style.endswith("fast"))
+    output_engine = RowByRowEngine(transform.AT, pc=core.output_engine.pc,
+                                   ps=core.output_engine.ps,
+                                   fast=core.output_engine.style.endswith("fast"))
+    weight_engine = TapByTapEngine(transform.G, pc=core.weight_engine.pc,
+                                   ps=core.weight_engine.ps, pt=core.weight_engine.pt)
+    adders = {
+        "IN_XFORM": float(input_engine.total_adders()),
+        "OUT_XFORM": float(output_engine.total_adders()),
+        "WT_XFORM": float(weight_engine.total_adders()),
+    }
+    reference_area = TABLE_V_AREA_MM2["MTE1_IN_XFORM"]
+    reference_adders = max(adders["IN_XFORM"], 1.0)
+    area_estimate = {name: reference_area * count / reference_adders
+                     for name, count in adders.items()}
+    return {"adders": adders, "area_mm2_estimate": area_estimate}
+
+
+def compute_tops_per_watt(algorithm: str = "F4", core: AICoreConfig | None = None
+                          ) -> float:
+    """TOp/s/W of the compute datapath (Cube + active engines).
+
+    For the Winograd kernel the paper counts *equivalent* spatial-domain
+    operations (4x the Cube throughput for F4), which is what makes the
+    datapath ≈3x more energy efficient despite the higher switching power.
+    """
+    core = core or AICoreConfig()
+    peak_ops_per_second = core.cube.macs_per_cycle * 2 * core.clock_ghz * 1e9
+    if algorithm.lower() == "im2col":
+        power_w = TABLE_V_POWER_MW["CUBE_IM2COL"] * 1e-3
+        return peak_ops_per_second / power_w / 1e12
+    equivalent_ops = peak_ops_per_second * 4.0  # F4 MAC reduction
+    power_w = (TABLE_V_POWER_MW["CUBE_WINOGRAD"]
+               + TABLE_V_POWER_MW["MTE1_IN_XFORM"]
+               + TABLE_V_POWER_MW["FIXPIPE_OUT_XFORM"]) * 1e-3
+    return equivalent_ops / power_w / 1e12

@@ -1,0 +1,208 @@
+"""Hardware configuration of the baseline DSA and its Winograd extensions.
+
+The numbers here come from Section IV-A (architecture parameters) and
+Table V (post-place-&-route area, power, and per-access energy at 28 nm,
+0.8 V, 500 MHz).  They parameterise the performance and energy models in
+:mod:`repro.accelerator.ops` and :mod:`repro.accelerator.energy`; the RTL /
+gate-level flow of the paper is replaced by this calibrated cost model (see
+DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["CubeConfig", "VectorUnitConfig", "MemoryConfig", "DramConfig",
+           "EngineConfig", "PowerConfig", "AICoreConfig", "SystemConfig",
+           "default_system_config", "TABLE_V_AREA_MM2", "TABLE_V_POWER_MW"]
+
+
+@dataclass(frozen=True)
+class CubeConfig:
+    """The Cube Unit: an int8 MatMul engine computing [16x32]·[32x16] per cycle."""
+
+    rows: int = 16          # output rows per MatMul instruction
+    reduction: int = 32     # shared/contracted dimension (C0 fractal size)
+    cols: int = 16          # output columns per MatMul instruction
+
+    @property
+    def macs_per_cycle(self) -> int:
+        return self.rows * self.reduction * self.cols
+
+    @property
+    def ifm_operand_bytes_per_cycle(self) -> int:
+        """int8 bytes of the activation operand consumed per cycle."""
+        return self.rows * self.reduction
+
+    @property
+    def weight_operand_bytes_per_cycle(self) -> int:
+        return self.reduction * self.cols
+
+    @property
+    def output_bytes_per_cycle(self) -> int:
+        """int32 output tile written to L0C per cycle."""
+        return self.rows * self.cols * 4
+
+
+@dataclass(frozen=True)
+class VectorUnitConfig:
+    """The Vector Unit: 256 B wide, 256 int8 (or 128 fp16) ops per cycle."""
+
+    width_bytes: int = 256
+    int8_ops_per_cycle: int = 256
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """One level of the software-managed on-chip memory hierarchy."""
+
+    name: str
+    size_bytes: int
+    read_pj_per_byte: float
+    write_pj_per_byte: float
+    area_mm2: float = 0.0
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """External memory model (LPDDR4x-3200, two channels).
+
+    Requests are served in order at ``bandwidth_bytes_per_cycle`` with a fixed
+    average latency; the latency jitter of the paper's simulator (zero-mean
+    Gaussian, sigma = 5 cycles) only matters for fine-grained interleaving and
+    is exposed for the event-driven checks.
+    """
+
+    bandwidth_bytes_per_cycle: float = 81.2
+    latency_cycles: int = 150
+    latency_jitter_cycles: float = 5.0
+    # The paper's energy numbers come from gate-level simulation of the core
+    # (Table V); only the PHY/interface share of the DRAM access energy is
+    # attributed to the accelerator here so that, as in Fig. 6, the Cube Unit
+    # dominates the energy budget.
+    read_pj_per_byte: float = 20.0
+    write_pj_per_byte: float = 20.0
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Parallelism of one Winograd transformation engine instance."""
+
+    style: str          # "row_by_row_fast", "row_by_row_slow", "tap_by_tap"
+    pc: int = 1
+    ps: int = 1
+    pt: int = 1
+
+
+@dataclass(frozen=True)
+class PowerConfig:
+    """Peak power of the compute units in mW (Table V)."""
+
+    cube_im2col_mw: float = 1521.0
+    cube_winograd_mw: float = 1923.0
+    im2col_engine_mw: float = 30.0
+    in_xform_mw: float = 145.0
+    wt_xform_mw: float = 228.0
+    out_xform_mw: float = 114.0
+    vector_unit_mw: float = 250.0
+    idle_core_mw: float = 120.0
+
+
+@dataclass(frozen=True)
+class AICoreConfig:
+    """One AI core (DaVinci-style) with its Winograd extensions."""
+
+    clock_ghz: float = 0.5
+    cube: CubeConfig = field(default_factory=CubeConfig)
+    vector: VectorUnitConfig = field(default_factory=VectorUnitConfig)
+    power: PowerConfig = field(default_factory=PowerConfig)
+    # Engine sizing from Section IV-B2: the input engine transforms 32 (Cin) x
+    # 2 (spatial) tiles in parallel row-by-row; the output engine 16 along
+    # Cout (fast variant); the weight engine is a small tap-by-tap unit tuned
+    # to the external weight bandwidth.
+    input_engine: EngineConfig = field(
+        default_factory=lambda: EngineConfig("row_by_row_slow", pc=32, ps=2))
+    output_engine: EngineConfig = field(
+        default_factory=lambda: EngineConfig("row_by_row_fast", pc=16, ps=1))
+    # The weight engine throughput is tuned to match the external weight
+    # bandwidth (Section IV-B2): many cheap tap-by-tap PEs in parallel.
+    weight_engine: EngineConfig = field(
+        default_factory=lambda: EngineConfig("tap_by_tap", pc=8, ps=1, pt=48))
+    # L1 -> L0A path used by the im2col engine.
+    mte1_bandwidth_bytes_per_cycle: float = 512.0
+    memories: tuple[MemoryConfig, ...] = (
+        MemoryConfig("L0A", 64 * 1024, 0.22, 0.24, 0.32),
+        MemoryConfig("L0B", 64 * 1024, 0.22, 0.24, 0.32),
+        MemoryConfig("L0C", 288 * 1024, 0.23, 0.29, 1.24),
+        # Port B of L0C (towards the FixPipe) costs more when rotating
+        # Winograd-domain data; modelled separately in the energy module.
+        MemoryConfig("L1", 1248 * 1024, 0.92, 0.68, 5.97),
+        MemoryConfig("UB", 256 * 1024, 0.30, 0.32, 0.9),
+    )
+    l0c_portb_read_pj_im2col: float = 0.31
+    l0c_portb_read_pj_winograd: float = 0.69
+
+    def memory(self, name: str) -> MemoryConfig:
+        for mem in self.memories:
+            if mem.name == name:
+                return mem
+        raise KeyError(f"unknown memory level {name!r}")
+
+    @property
+    def peak_tops(self) -> float:
+        """Peak int8 throughput in TOp/s (1 MAC counted as 1 Op)."""
+        return self.cube.macs_per_cycle * self.clock_ghz / 1e3
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """The full accelerator: two AI cores, a broadcast unit, and DRAM."""
+
+    core: AICoreConfig = field(default_factory=AICoreConfig)
+    num_cores: int = 2
+    dram: DramConfig = field(default_factory=DramConfig)
+    broadcast_ifm: bool = True
+
+    @property
+    def peak_tops(self) -> float:
+        return self.core.peak_tops * self.num_cores
+
+    def with_bandwidth_scale(self, scale: float) -> "SystemConfig":
+        """A copy of this system with scaled external bandwidth.
+
+        Used for the 1.5x (DDR5 vs DDR4) columns of Table VII.
+        """
+        dram = replace(self.dram,
+                       bandwidth_bytes_per_cycle=self.dram.bandwidth_bytes_per_cycle * scale)
+        return replace(self, dram=dram)
+
+
+def default_system_config() -> SystemConfig:
+    """The configuration the paper evaluates (2 cores, 81.2 B/cycle DRAM)."""
+    return SystemConfig()
+
+
+# --------------------------------------------------------------------------- #
+# Table V raw data (area and power breakdown of the AI core), used by the
+# area/power experiment and by the energy model.
+# --------------------------------------------------------------------------- #
+TABLE_V_AREA_MM2 = {
+    "CUBE": 2.04,
+    "MTE1_IM2COL": 0.03,
+    "MTE1_IN_XFORM": 0.23,
+    "MTE1_WT_XFORM": 0.32,
+    "FIXPIPE_OUT_XFORM": 0.10,
+    "L0A": 0.32,
+    "L0B": 0.32,
+    "L0C": 1.24,
+    "L1": 5.97,
+}
+
+TABLE_V_POWER_MW = {
+    "CUBE_IM2COL": 1521.0,
+    "CUBE_WINOGRAD": 1923.0,
+    "MTE1_IM2COL": 30.0,
+    "MTE1_IN_XFORM": 145.0,
+    "MTE1_WT_XFORM": 228.0,
+    "FIXPIPE_OUT_XFORM": 114.0,
+}

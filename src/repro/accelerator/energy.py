@@ -1,0 +1,98 @@
+"""Energy model: projects unit power and per-access memory costs onto a run.
+
+Follows the paper's methodology (Section V-B1): energy is estimated by
+combining the *active cycles* of each computational unit with its
+gate-level-characterised power (Table V), plus the number of memory accesses
+times the per-byte access energy of each SRAM level (also Table V) and of the
+external DRAM.
+"""
+
+from __future__ import annotations
+
+from .config import AICoreConfig, DramConfig
+from .profile import EnergyBreakdown, MemoryTraffic
+
+__all__ = ["compute_energy", "UNIT_POWER_KEYS"]
+
+UNIT_POWER_KEYS = ("CUBE", "IM2COL", "IN_XFORM", "WT_XFORM", "OUT_XFORM", "VECTOR")
+
+# Mapping from traffic levels to (memory name, tensor kind) pairs.
+_LEVEL_TO_MEMORY = {
+    "L1_FM": "L1",
+    "L1_WT": "L1",
+    "L0A": "L0A",
+    "L0B": "L0B",
+    "L0C": "L0C",
+    "UB": "UB",
+}
+_DRAM_LEVELS = ("GM_FM", "GM_WT", "GM_OFM")
+
+
+def _unit_energy_uj(power_mw: float, cycles: float, clock_ghz: float) -> float:
+    """Energy of one unit active for ``cycles`` at ``power_mw``."""
+    seconds = cycles / (clock_ghz * 1e9)
+    return power_mw * 1e-3 * seconds * 1e6  # J -> uJ
+
+
+def compute_energy(core: AICoreConfig, dram: DramConfig, traffic: MemoryTraffic,
+                   active_cycles: dict[str, float], algorithm: str,
+                   l0c_portb_reads_bytes: float = 0.0) -> EnergyBreakdown:
+    """Build the per-component energy breakdown of one layer execution.
+
+    Parameters
+    ----------
+    active_cycles:
+        Active cycles per compute unit (keys from :data:`UNIT_POWER_KEYS`),
+        already summed over the cores.
+    algorithm:
+        ``"im2col"`` or a Winograd variant; selects the Cube power figure
+        (the Winograd kernel has denser data and higher switching power) and
+        the L0C Port-B access cost.
+    l0c_portb_reads_bytes:
+        Bytes read by the FixPipe through L0C's Port B (the rotated/gathered
+        port whose access cost is higher for the Winograd kernel).
+    """
+    power = core.power
+    clock = core.clock_ghz
+    is_winograd = algorithm.lower() != "im2col"
+    energy = EnergyBreakdown()
+
+    cube_power = power.cube_winograd_mw if is_winograd else power.cube_im2col_mw
+    unit_powers = {
+        "CUBE": cube_power,
+        "IM2COL": power.im2col_engine_mw,
+        "IN_XFORM": power.in_xform_mw,
+        "WT_XFORM": power.wt_xform_mw,
+        "OUT_XFORM": power.out_xform_mw,
+        "VECTOR": power.vector_unit_mw,
+    }
+    for unit, cycles in active_cycles.items():
+        if unit not in unit_powers:
+            raise KeyError(f"unknown compute unit {unit!r}")
+        energy.add(unit, _unit_energy_uj(unit_powers[unit], cycles, clock))
+
+    # SRAM accesses.
+    for level, memory_name in _LEVEL_TO_MEMORY.items():
+        memory = core.memory(memory_name)
+        read_bytes = traffic.total_read(level)
+        write_bytes = traffic.total_write(level)
+        if level == "L0C":
+            # Port-B reads (to the FixPipe) have a different cost; remove them
+            # from the Port-A pool and charge them separately below.
+            read_bytes = max(read_bytes - l0c_portb_reads_bytes, 0.0)
+        if read_bytes or write_bytes:
+            energy.add(memory_name,
+                       (read_bytes * memory.read_pj_per_byte
+                        + write_bytes * memory.write_pj_per_byte) * 1e-6)
+    if l0c_portb_reads_bytes > 0:
+        portb_cost = (core.l0c_portb_read_pj_winograd if is_winograd
+                      else core.l0c_portb_read_pj_im2col)
+        energy.add("L0C", l0c_portb_reads_bytes * portb_cost * 1e-6)
+
+    # DRAM accesses.
+    dram_read = sum(traffic.total_read(level) for level in _DRAM_LEVELS)
+    dram_write = sum(traffic.total_write(level) for level in _DRAM_LEVELS)
+    if dram_read or dram_write:
+        energy.add("DRAM", (dram_read * dram.read_pj_per_byte
+                            + dram_write * dram.write_pj_per_byte) * 1e-6)
+    return energy

@@ -1,0 +1,8 @@
+"""Operator-level performance models (im2col baseline, Winograd F2/F4)."""
+
+from .common import LayerWorkload, ceil_div
+from .im2col_op import run_im2col
+from .winograd_op import run_winograd, winograd_supported
+
+__all__ = ["LayerWorkload", "ceil_div", "run_im2col", "run_winograd",
+           "winograd_supported"]

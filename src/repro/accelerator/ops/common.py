@@ -1,0 +1,55 @@
+"""Shared helpers for the operator performance models."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ...models.layer_specs import Conv2DSpec
+
+__all__ = ["ceil_div", "LayerWorkload"]
+
+
+def ceil_div(a: int, b: int) -> int:
+    return -(-int(a) // int(b))
+
+
+@dataclass(frozen=True)
+class LayerWorkload:
+    """A Conv2D layer shape bound to a batch size (what one operator runs on)."""
+
+    spec: Conv2DSpec
+    batch: int = 1
+
+    @property
+    def macs(self) -> int:
+        return self.spec.macs(self.batch)
+
+    @property
+    def ifm_bytes(self) -> int:
+        return self.spec.ifm_bytes(self.batch)
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.spec.weight_bytes()
+
+    @property
+    def ofm_bytes(self) -> int:
+        return self.spec.ofm_bytes(self.batch)
+
+    @property
+    def out_positions(self) -> int:
+        return self.batch * self.spec.out_h * self.spec.out_w
+
+    @staticmethod
+    def from_shape(name: str, batch: int, cin: int, cout: int, out_h: int,
+                   out_w: int, kernel: int = 3, stride: int = 1) -> "LayerWorkload":
+        """Convenience constructor used by the synthetic Table IV sweep."""
+        spec = Conv2DSpec(name=name, cin=cin, cout=cout, kernel=kernel,
+                          stride=stride, out_h=out_h, out_w=out_w)
+        return LayerWorkload(spec=spec, batch=batch)
+
+
+def tiles_per_dim(extent: int, m: int) -> int:
+    """Number of Winograd output tiles covering ``extent`` output pixels."""
+    return math.ceil(extent / m)

@@ -1,0 +1,141 @@
+"""Performance/energy model of the baseline im2col convolution operator.
+
+The baseline accelerator lowers Conv2D into a MatMul: the MTE1's im2col engine
+expands the input feature map from L1 into L0A, weights are staged in L0B, and
+the Cube Unit performs the [16x32]·[32x16] MatMuls.  The FixPipe/Vector Unit
+requantizes the int32 results and the MTE3 writes them back to global memory.
+
+This is the reference operator every Winograd result of the paper is
+normalised against (Table IV, Fig. 5, Fig. 6, Table VII).
+"""
+
+from __future__ import annotations
+
+from ..config import SystemConfig
+from ..energy import compute_energy
+from ..profile import CycleBreakdown, LayerProfile, MemoryTraffic
+from .common import LayerWorkload, ceil_div
+
+__all__ = ["run_im2col"]
+
+
+def run_im2col(workload: LayerWorkload, system: SystemConfig) -> LayerProfile:
+    """Estimate cycles, memory traffic and energy for one im2col Conv2D."""
+    spec = workload.spec
+    core = system.core
+    cube = core.cube
+    num_cores = system.num_cores
+    batch = workload.batch
+
+    cout_per_core = ceil_div(spec.cout, num_cores)
+    out_positions = workload.out_positions
+    reduction = (spec.cin // spec.groups) * spec.kernel * spec.kernel
+
+    # ----------------------------------------------------------------- #
+    # Compute cycles
+    # ----------------------------------------------------------------- #
+    cube_cycles = (ceil_div(out_positions, cube.rows)
+                   * ceil_div(cout_per_core, cube.cols)
+                   * ceil_div(reduction, cube.reduction))
+
+    # im2col lowering: the expanded volume written into L0A per core.
+    lowered_bytes = out_positions * reduction
+    im2col_cycles = lowered_bytes / core.mte1_bandwidth_bytes_per_cycle
+
+    # Vector Unit / FixPipe: moves and requantizes the int32 outputs.
+    ofm_int32_bytes_core = batch * cout_per_core * spec.out_h * spec.out_w * 4
+    vector_cycles = ofm_int32_bytes_core / core.vector.width_bytes
+
+    # ----------------------------------------------------------------- #
+    # DRAM traffic and streaming time
+    # ----------------------------------------------------------------- #
+    bw = system.dram.bandwidth_bytes_per_cycle
+    ifm_bytes = workload.ifm_bytes          # broadcast: read once for both cores
+    weight_bytes = workload.weight_bytes
+    ofm_bytes = workload.ofm_bytes
+    # The im2col weights live in L1/L0B untransformed; when they exceed the
+    # L1 budget the iFM is streamed once per weight block (same rule as the
+    # Winograd operator, without the 4x expansion).
+    l1_weight_budget = core.memory("L1").size_bytes * 2 // 3
+    bytes_per_cout_channel = reduction
+    cout_block_per_core = max(64, l1_weight_budget // max(bytes_per_cout_channel, 1))
+    ifm_rereads = ceil_div(cout_per_core, cout_block_per_core)
+
+    weight_load_cycles = weight_bytes / bw
+    stream_dram_cycles = (ifm_bytes * ifm_rereads + ofm_bytes) / bw
+
+    # ----------------------------------------------------------------- #
+    # Critical path: exposed weight prologue + steady-state bottleneck with
+    # a pipeline-fill exposure of the non-bottleneck stages.
+    # ----------------------------------------------------------------- #
+    stage_times = {
+        "CUBE": float(cube_cycles),
+        "IM2COL": float(im2col_cycles),
+        "VECTOR": float(vector_cycles),
+        "IN_LOAD": float(ifm_bytes * ifm_rereads / bw),
+        "OUT_STORE": float(ofm_bytes / bw),
+    }
+    # The two DRAM streams share the channel; account for contention by also
+    # bounding with their sum.
+    stage_times["IN_LOAD"] = max(stage_times["IN_LOAD"],
+                                 stream_dram_cycles - stage_times["OUT_STORE"])
+    bottleneck = max(stage_times, key=stage_times.get)
+    l2_block_bytes = core.memory("L1").size_bytes // 2
+    num_outer = max(8, ceil_div(int(ifm_bytes), l2_block_bytes))
+
+    breakdown = CycleBreakdown()
+    breakdown.add("WT_LOAD", weight_load_cycles)
+    total = weight_load_cycles + stage_times[bottleneck]
+    breakdown.add(bottleneck, stage_times[bottleneck])
+    for stage, time in stage_times.items():
+        if stage == bottleneck:
+            continue
+        fill = time / num_outer
+        breakdown.add(stage, fill)
+        total += fill
+
+    # ----------------------------------------------------------------- #
+    # Memory traffic (bytes, summed over both cores where applicable)
+    # ----------------------------------------------------------------- #
+    traffic = MemoryTraffic()
+    traffic.add_read("GM_FM", ifm_bytes * ifm_rereads)
+    traffic.add_read("GM_WT", weight_bytes)
+    traffic.add_write("GM_OFM", ofm_bytes)
+    traffic.add_write("L1_FM", ifm_bytes * num_cores)
+    traffic.add_read("L1_FM", lowered_bytes * num_cores)
+    traffic.add_write("L1_WT", weight_bytes)
+    traffic.add_read("L1_WT", weight_bytes)
+    traffic.add_write("L0B", weight_bytes)
+    traffic.add_read("L0B", cube_cycles * cube.weight_operand_bytes_per_cycle * num_cores)
+    traffic.add_write("L0A", lowered_bytes * num_cores)
+    traffic.add_read("L0A", cube_cycles * cube.ifm_operand_bytes_per_cycle * num_cores)
+    ofm_int32_bytes = batch * spec.cout * spec.out_h * spec.out_w * 4
+    traffic.add_write("L0C", ofm_int32_bytes)
+    traffic.add_read("L0C", ofm_int32_bytes)
+    traffic.add_write("UB", ofm_bytes)
+    traffic.add_read("UB", ofm_bytes)
+
+    # ----------------------------------------------------------------- #
+    # Energy
+    # ----------------------------------------------------------------- #
+    active_cycles = {
+        "CUBE": float(cube_cycles * num_cores),
+        "IM2COL": float(im2col_cycles * num_cores),
+        "VECTOR": float(vector_cycles * num_cores),
+    }
+    energy = compute_energy(core, system.dram, traffic, active_cycles,
+                            algorithm="im2col",
+                            l0c_portb_reads_bytes=ofm_int32_bytes)
+
+    return LayerProfile(
+        layer_name=spec.name,
+        algorithm="im2col",
+        batch=batch,
+        total_cycles=float(total),
+        macs=workload.macs,
+        breakdown=breakdown,
+        traffic=traffic,
+        energy=energy,
+        cube_active_cycles=float(cube_cycles),
+        notes=f"bottleneck={bottleneck}",
+    )

@@ -1,0 +1,211 @@
+"""Performance/energy model of the Winograd F2/F4 convolution operator.
+
+Implements the dataflow of Listing 1 (Section IV-B2):
+
+* weights are streamed from GM, transformed *on the fly* by the tap-by-tap
+  engine in the MTE1, and kept stationary in L1;
+* input tiles are loaded (and broadcast to both cores), transformed by the
+  row-by-row engine into L0A, and consumed by the Cube Unit as a batched
+  tap-wise MatMul;
+* outputs are back-transformed by the FixPipe engine, requantized by the
+  Vector Unit, and written to GM by the MTE3.
+
+The model captures the effects the paper's evaluation hinges on:
+
+* weight load + transformation are exposed (they precede the iFM loop), so
+  their share shrinks as the spatial size / batch grows (Table IV trend 1);
+* the input/output transformation engines are sized so that they only become
+  the bottleneck for small channel counts (Cin below ~96 for the fast output
+  engine — the paper's own sizing argument);
+* DRAM bandwidth caps the achievable speed-up (Table IV trend 2, Table VII).
+"""
+
+from __future__ import annotations
+
+from ...winograd.engines import RowByRowEngine, TapByTapEngine
+from ...winograd.transforms import WinogradTransform, get_transform
+from ..config import EngineConfig, SystemConfig
+from ..energy import compute_energy
+from ..profile import CycleBreakdown, LayerProfile, MemoryTraffic
+from .common import LayerWorkload, ceil_div
+
+__all__ = ["run_winograd", "winograd_supported"]
+
+
+def winograd_supported(workload: LayerWorkload) -> bool:
+    """The paper maps only 3x3, unit-stride, non-grouped convolutions."""
+    spec = workload.spec
+    return spec.kernel == 3 and spec.stride == 1 and spec.groups == 1
+
+
+def _build_engines(transform: WinogradTransform, core_cfg) -> dict[str, object]:
+    """Instantiate the three transformation-engine models from the config."""
+    def build(engine_cfg: EngineConfig, matrix) -> object:
+        if engine_cfg.style == "tap_by_tap":
+            return TapByTapEngine(matrix, pc=engine_cfg.pc, ps=engine_cfg.ps,
+                                  pt=engine_cfg.pt)
+        fast = engine_cfg.style.endswith("fast")
+        return RowByRowEngine(matrix, pc=engine_cfg.pc, ps=engine_cfg.ps, fast=fast)
+
+    return {
+        "input": build(core_cfg.input_engine, transform.BT),
+        "weight": build(core_cfg.weight_engine, transform.G),
+        "output": build(core_cfg.output_engine, transform.AT),
+    }
+
+
+def run_winograd(workload: LayerWorkload, system: SystemConfig,
+                 transform: str | WinogradTransform = "F4") -> LayerProfile:
+    """Estimate cycles, memory traffic and energy for one Winograd Conv2D."""
+    if not winograd_supported(workload):
+        raise ValueError(f"layer {workload.spec.name} cannot run with the Winograd operator")
+    transform = (transform if isinstance(transform, WinogradTransform)
+                 else get_transform(transform))
+    spec = workload.spec
+    core = system.core
+    cube = core.cube
+    num_cores = system.num_cores
+    batch = workload.batch
+    m, alpha = transform.m, transform.alpha
+    taps = transform.num_taps
+
+    engines = _build_engines(transform, core)
+    input_engine = engines["input"]
+    weight_engine = engines["weight"]
+    output_engine = engines["output"]
+
+    cout_per_core = ceil_div(spec.cout, num_cores)
+    n_tiles_h = ceil_div(spec.out_h, m)
+    n_tiles_w = ceil_div(spec.out_w, m)
+    n_tiles = batch * n_tiles_h * n_tiles_w
+
+    # ----------------------------------------------------------------- #
+    # Compute cycles (per core)
+    # ----------------------------------------------------------------- #
+    cube_cycles = (taps
+                   * ceil_div(n_tiles, cube.rows)
+                   * ceil_div(cout_per_core, cube.cols)
+                   * ceil_div(spec.cin, cube.reduction))
+
+    n_input_xforms = n_tiles * spec.cin
+    in_xform_cycles = input_engine.spec().cycles_for(n_input_xforms)
+
+    n_output_xforms = n_tiles * cout_per_core
+    out_xform_cycles = output_engine.spec().cycles_for(n_output_xforms)
+
+    n_weight_xforms = cout_per_core * spec.cin
+    wt_xform_cycles = weight_engine.spec().cycles_for(n_weight_xforms)
+
+    ofm_int32_bytes_core = batch * cout_per_core * spec.out_h * spec.out_w * 4
+    vector_cycles = ofm_int32_bytes_core / core.vector.width_bytes
+
+    # ----------------------------------------------------------------- #
+    # DRAM traffic
+    # ----------------------------------------------------------------- #
+    bw = system.dram.bandwidth_bytes_per_cycle
+    ifm_bytes = workload.ifm_bytes
+    weight_bytes = workload.weight_bytes
+    ofm_bytes = workload.ofm_bytes
+    # The transformed weights are kept stationary in L1 (Listing 1); when the
+    # per-core weight working set exceeds the L1 budget, the iFM must be
+    # streamed again from GM once per weight block.  At least 64 output
+    # channels are always processed together to match the Cube rate.
+    l1_weight_budget = core.memory("L1").size_bytes * 2 // 3
+    bytes_per_cout_channel = taps * spec.cin  # transformed int8 weights
+    cout_block_per_core = max(64, l1_weight_budget // max(bytes_per_cout_channel, 1))
+    ifm_rereads = ceil_div(cout_per_core, cout_block_per_core)
+
+    weight_load_cycles = weight_bytes / bw
+    in_load_cycles = ifm_bytes * ifm_rereads / bw
+    out_store_cycles = ofm_bytes / bw
+
+    # ----------------------------------------------------------------- #
+    # Critical path
+    # ----------------------------------------------------------------- #
+    weight_phase = max(weight_load_cycles, wt_xform_cycles)
+    stage_times = {
+        "CUBE": float(cube_cycles),
+        "IN_XFORM": float(in_xform_cycles),
+        "OUT_XFORM": float(out_xform_cycles),
+        "VECTOR": float(vector_cycles),
+        "IN_LOAD": float(in_load_cycles),
+        "OUT_STORE": float(out_store_cycles),
+    }
+    # In/out streams share the DRAM channel.
+    stage_times["IN_LOAD"] = max(stage_times["IN_LOAD"],
+                                 (ifm_bytes * ifm_rereads + ofm_bytes) / bw
+                                 - stage_times["OUT_STORE"])
+    bottleneck = max(stage_times, key=stage_times.get)
+    l2_block_bytes = core.memory("L1").size_bytes // 2
+    num_outer = max(8, ceil_div(int(ifm_bytes), l2_block_bytes))
+
+    breakdown = CycleBreakdown()
+    total = weight_phase + stage_times[bottleneck]
+    if weight_phase > 0:
+        denom = weight_load_cycles + wt_xform_cycles
+        share_xform = wt_xform_cycles / denom if denom else 0.0
+        breakdown.add("WT_XFORM", weight_phase * share_xform)
+        breakdown.add("WT_LOAD", weight_phase * (1.0 - share_xform))
+    breakdown.add(bottleneck, stage_times[bottleneck])
+    for stage, time in stage_times.items():
+        if stage == bottleneck:
+            continue
+        fill = time / num_outer
+        breakdown.add(stage, fill)
+        total += fill
+
+    # ----------------------------------------------------------------- #
+    # Memory traffic (bytes, both cores)
+    # ----------------------------------------------------------------- #
+    expansion_in = (alpha * alpha) / (m * m)          # 2.25 for F4, 4 for F2
+    expansion_wt = (alpha * alpha) / (spec.kernel ** 2)  # 4 for F4, ~1.78 for F2
+
+    traffic = MemoryTraffic()
+    traffic.add_read("GM_FM", ifm_bytes * ifm_rereads)
+    traffic.add_read("GM_WT", weight_bytes)
+    traffic.add_write("GM_OFM", ofm_bytes)
+    # Every core keeps its own L1 copy of the (broadcast) iFM.
+    traffic.add_write("L1_FM", ifm_bytes * ifm_rereads * num_cores)
+    traffic.add_read("L1_FM", ifm_bytes * expansion_in * num_cores)
+    # Transformed weights are stationary in L1 (each core holds its half).
+    traffic.add_write("L1_WT", weight_bytes * expansion_wt)
+    traffic.add_read("L1_WT",
+                     cube_cycles * cube.weight_operand_bytes_per_cycle * num_cores)
+    # L0B only stages raw weights for the on-the-fly transformation.
+    traffic.add_write("L0B", weight_bytes)
+    traffic.add_read("L0B", weight_bytes)
+    transformed_ifm_bytes = ifm_bytes * expansion_in * num_cores
+    traffic.add_write("L0A", transformed_ifm_bytes)
+    traffic.add_read("L0A", cube_cycles * cube.ifm_operand_bytes_per_cycle * num_cores)
+    wino_ofm_int32_bytes = batch * spec.cout * n_tiles_h * n_tiles_w * taps * 4
+    traffic.add_write("L0C", wino_ofm_int32_bytes)
+    traffic.add_read("L0C", wino_ofm_int32_bytes)
+    traffic.add_write("UB", ofm_bytes)
+    traffic.add_read("UB", ofm_bytes)
+
+    # ----------------------------------------------------------------- #
+    # Energy
+    # ----------------------------------------------------------------- #
+    active_cycles = {
+        "CUBE": float(cube_cycles * num_cores),
+        "IN_XFORM": float(in_xform_cycles * num_cores),
+        "WT_XFORM": float(wt_xform_cycles * num_cores),
+        "OUT_XFORM": float(out_xform_cycles * num_cores),
+        "VECTOR": float(vector_cycles * num_cores),
+    }
+    energy = compute_energy(core, system.dram, traffic, active_cycles,
+                            algorithm=transform.name,
+                            l0c_portb_reads_bytes=wino_ofm_int32_bytes)
+
+    return LayerProfile(
+        layer_name=spec.name,
+        algorithm=transform.name,
+        batch=batch,
+        total_cycles=float(total),
+        macs=workload.macs,
+        breakdown=breakdown,
+        traffic=traffic,
+        energy=energy,
+        cube_active_cycles=float(cube_cycles),
+        notes=f"bottleneck={bottleneck}, ifm_rereads={ifm_rereads}",
+    )

@@ -1,0 +1,197 @@
+"""Profiling records produced by the accelerator model.
+
+A :class:`LayerProfile` captures everything the paper reports per layer: the
+cycle breakdown of the critical path (Fig. 5), the memory access counts per
+level (Fig. 6 left), and the per-unit energy breakdown (Fig. 6 right).
+:class:`NetworkProfile` aggregates them per network for Table VII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CycleBreakdown", "MemoryTraffic", "EnergyBreakdown", "LayerProfile",
+           "NetworkProfile", "BREAKDOWN_CATEGORIES"]
+
+
+# Categories of the Fig. 5 stacked bars.
+BREAKDOWN_CATEGORIES = (
+    "CUBE",          # MatMul cycles (im2col or Winograd batched MatMul)
+    "IM2COL",        # im2col lowering engine (baseline only)
+    "IN_XFORM",      # input Winograd transformation engine
+    "WT_XFORM",      # weight Winograd transformation engine
+    "OUT_XFORM",     # output Winograd transformation engine
+    "IN_LOAD",       # MTE2 iFM transfers from GM
+    "WT_LOAD",       # MTE2 weight transfers from GM
+    "VECTOR",        # Vector Unit (requantization, activation)
+    "OUT_STORE",     # MTE3 oFM transfers to GM
+)
+
+
+@dataclass
+class CycleBreakdown:
+    """Exposed (non-overlapped) cycles attributed to each pipeline stage."""
+
+    cycles: dict[str, float] = field(default_factory=dict)
+
+    def add(self, category: str, value: float) -> None:
+        if category not in BREAKDOWN_CATEGORIES:
+            raise KeyError(f"unknown breakdown category {category!r}")
+        self.cycles[category] = self.cycles.get(category, 0.0) + max(value, 0.0)
+
+    def total(self) -> float:
+        return float(sum(self.cycles.values()))
+
+    def fraction(self, category: str) -> float:
+        total = self.total()
+        return self.cycles.get(category, 0.0) / total if total else 0.0
+
+    def merged(self, other: "CycleBreakdown") -> "CycleBreakdown":
+        out = CycleBreakdown(dict(self.cycles))
+        for key, value in other.cycles.items():
+            out.cycles[key] = out.cycles.get(key, 0.0) + value
+        return out
+
+
+@dataclass
+class MemoryTraffic:
+    """Byte counts of reads/writes per memory level and tensor kind.
+
+    Keys follow the Fig. 6 convention: ``"GM_FM"``, ``"GM_WT"``, ``"L1_FM"``,
+    ``"L1_WT"``, ``"L0A"``, ``"L0B"``, ``"L0C"``, ``"UB"``.
+    """
+
+    reads: dict[str, float] = field(default_factory=dict)
+    writes: dict[str, float] = field(default_factory=dict)
+
+    def add_read(self, level: str, nbytes: float) -> None:
+        self.reads[level] = self.reads.get(level, 0.0) + max(nbytes, 0.0)
+
+    def add_write(self, level: str, nbytes: float) -> None:
+        self.writes[level] = self.writes.get(level, 0.0) + max(nbytes, 0.0)
+
+    def total_read(self, level: str) -> float:
+        return self.reads.get(level, 0.0)
+
+    def total_write(self, level: str) -> float:
+        return self.writes.get(level, 0.0)
+
+    def merged(self, other: "MemoryTraffic") -> "MemoryTraffic":
+        out = MemoryTraffic(dict(self.reads), dict(self.writes))
+        for key, value in other.reads.items():
+            out.reads[key] = out.reads.get(key, 0.0) + value
+        for key, value in other.writes.items():
+            out.writes[key] = out.writes.get(key, 0.0) + value
+        return out
+
+    def dram_bytes(self) -> float:
+        keys = ("GM_FM", "GM_WT", "GM_OFM")
+        return (sum(self.reads.get(k, 0.0) for k in keys)
+                + sum(self.writes.get(k, 0.0) for k in keys))
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy in micro-joules attributed to compute units and memories."""
+
+    energy_uj: dict[str, float] = field(default_factory=dict)
+
+    def add(self, component: str, value_uj: float) -> None:
+        self.energy_uj[component] = self.energy_uj.get(component, 0.0) + max(value_uj, 0.0)
+
+    def total(self) -> float:
+        return float(sum(self.energy_uj.values()))
+
+    def fraction(self, component: str) -> float:
+        total = self.total()
+        return self.energy_uj.get(component, 0.0) / total if total else 0.0
+
+    def merged(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        out = EnergyBreakdown(dict(self.energy_uj))
+        for key, value in other.energy_uj.items():
+            out.energy_uj[key] = out.energy_uj.get(key, 0.0) + value
+        return out
+
+
+@dataclass
+class LayerProfile:
+    """Result of running one Conv2D layer on the accelerator model."""
+
+    layer_name: str
+    algorithm: str                 # "im2col", "F2", "F4"
+    batch: int
+    total_cycles: float
+    macs: int
+    breakdown: CycleBreakdown = field(default_factory=CycleBreakdown)
+    traffic: MemoryTraffic = field(default_factory=MemoryTraffic)
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    cube_active_cycles: float = 0.0
+    notes: str = ""
+
+    @property
+    def effective_tops(self) -> float:
+        """Achieved MAC/s in TOp/s assuming the default 500 MHz clock."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.macs / self.total_cycles * 0.5 / 1e3
+
+    @property
+    def energy_uj(self) -> float:
+        return self.energy.total()
+
+    def speedup_vs(self, other: "LayerProfile") -> float:
+        return other.total_cycles / self.total_cycles if self.total_cycles else 0.0
+
+
+@dataclass
+class NetworkProfile:
+    """Aggregate of layer profiles for one full network at one batch size."""
+
+    network: str
+    algorithm: str
+    batch: int
+    layers: list[LayerProfile] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> float:
+        return float(sum(layer.total_cycles for layer in self.layers))
+
+    @property
+    def total_energy_uj(self) -> float:
+        return float(sum(layer.energy_uj for layer in self.layers))
+
+    @property
+    def total_macs(self) -> int:
+        return int(sum(layer.macs for layer in self.layers))
+
+    def winograd_layers(self) -> list[LayerProfile]:
+        return [layer for layer in self.layers if layer.algorithm != "im2col"]
+
+    def throughput_images_per_second(self, clock_ghz: float = 0.5) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        seconds = self.total_cycles / (clock_ghz * 1e9)
+        return self.batch / seconds
+
+    def inferences_per_joule(self) -> float:
+        if self.total_energy_uj <= 0:
+            return 0.0
+        return self.batch / (self.total_energy_uj * 1e-6)
+
+    def merged_breakdown(self) -> CycleBreakdown:
+        out = CycleBreakdown()
+        for layer in self.layers:
+            out = out.merged(layer.breakdown)
+        return out
+
+    def merged_traffic(self) -> MemoryTraffic:
+        out = MemoryTraffic()
+        for layer in self.layers:
+            out = out.merged(layer.traffic)
+        return out
+
+    def merged_energy(self) -> EnergyBreakdown:
+        out = EnergyBreakdown()
+        for layer in self.layers:
+            out = out.merged(layer.energy)
+        return out

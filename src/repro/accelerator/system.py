@@ -1,0 +1,142 @@
+"""System-level evaluation: whole layers and whole networks on the DSA model.
+
+:class:`AcceleratorSystem` wraps the operator models and implements the
+compiler policy the paper describes for Table VII: for every layer, the best
+available kernel is selected (im2col always; Winograd F2/F4 when the layer is
+eligible and the corresponding hardware extension is present).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.layer_specs import Conv2DSpec, NetworkSpec
+from .config import SystemConfig, default_system_config
+from .ops import LayerWorkload, run_im2col, run_winograd, winograd_supported
+from .profile import LayerProfile, NetworkProfile
+
+__all__ = ["AcceleratorSystem", "NetworkComparison"]
+
+
+@dataclass
+class NetworkComparison:
+    """im2col vs F2 vs F4 results for one network/batch point (Table VII row)."""
+
+    network: str
+    batch: int
+    resolution: int
+    im2col: NetworkProfile
+    f2: NetworkProfile
+    f4: NetworkProfile
+
+    def speedup(self, algorithm: str, reference: str = "im2col",
+                winograd_layers_only: bool = False) -> float:
+        target = self._profile(algorithm)
+        base = self._profile(reference)
+        if winograd_layers_only:
+            eligible = {layer.layer_name for layer in target.layers
+                        if layer.algorithm != "im2col"}
+            target_cycles = sum(l.total_cycles for l in target.layers
+                                if l.layer_name in eligible)
+            base_cycles = sum(l.total_cycles for l in base.layers
+                              if l.layer_name in eligible)
+            return base_cycles / target_cycles if target_cycles else 0.0
+        return (base.total_cycles / target.total_cycles
+                if target.total_cycles else 0.0)
+
+    def energy_efficiency_gain(self, algorithm: str = "F4",
+                               reference: str = "im2col") -> float:
+        target = self._profile(algorithm)
+        base = self._profile(reference)
+        if target.total_energy_uj <= 0:
+            return 0.0
+        return base.total_energy_uj / target.total_energy_uj
+
+    def _profile(self, algorithm: str) -> NetworkProfile:
+        key = algorithm.lower()
+        if key == "im2col":
+            return self.im2col
+        if key == "f2":
+            return self.f2
+        if key == "f4":
+            return self.f4
+        raise KeyError(f"unknown algorithm {algorithm!r}")
+
+
+class AcceleratorSystem:
+    """The dual-core DSA with (optional) Winograd extensions."""
+
+    def __init__(self, config: SystemConfig | None = None):
+        self.config = config or default_system_config()
+
+    # ------------------------------------------------------------------ #
+    # Single layers
+    # ------------------------------------------------------------------ #
+    def run_layer(self, spec: Conv2DSpec, batch: int = 1,
+                  algorithm: str = "auto") -> LayerProfile:
+        """Run one Conv2D layer with a fixed or automatically chosen kernel.
+
+        ``algorithm``:
+            * ``"im2col"`` — the baseline operator.
+            * ``"F2"`` / ``"F4"`` — the Winograd operator (falls back to im2col
+              for non-eligible layers, and to whichever of the two is faster
+              when eligible — the compiler's per-layer choice).
+            * ``"F2-only"`` / ``"F4-only"`` — force Winograd, raise if the
+              layer is not eligible (used by the synthetic layer sweeps).
+            * ``"auto"`` — best of im2col / F2 / F4.
+        """
+        workload = LayerWorkload(spec=spec, batch=batch)
+        algorithm = algorithm.lower()
+        if algorithm == "im2col":
+            return run_im2col(workload, self.config)
+        if algorithm in ("f2-only", "f4-only"):
+            return run_winograd(workload, self.config, algorithm[:2].upper())
+        if algorithm in ("f2", "f4"):
+            baseline = run_im2col(workload, self.config)
+            if not winograd_supported(workload):
+                return baseline
+            wino = run_winograd(workload, self.config, algorithm.upper())
+            return wino if wino.total_cycles <= baseline.total_cycles else baseline
+        if algorithm == "auto":
+            candidates = [run_im2col(workload, self.config)]
+            if winograd_supported(workload):
+                candidates.append(run_winograd(workload, self.config, "F2"))
+                candidates.append(run_winograd(workload, self.config, "F4"))
+            return min(candidates, key=lambda profile: profile.total_cycles)
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+
+    def layer_speedup(self, spec: Conv2DSpec, batch: int = 1,
+                      algorithm: str = "F4") -> float:
+        """Speed-up of the Winograd operator over im2col for one layer."""
+        baseline = self.run_layer(spec, batch, "im2col")
+        wino = self.run_layer(spec, batch, algorithm)
+        return baseline.total_cycles / wino.total_cycles
+
+    # ------------------------------------------------------------------ #
+    # Whole networks
+    # ------------------------------------------------------------------ #
+    def run_network(self, network: NetworkSpec, batch: int = 1,
+                    algorithm: str = "F4") -> NetworkProfile:
+        profile = NetworkProfile(network=network.name, algorithm=algorithm, batch=batch)
+        for spec in network.layers:
+            profile.layers.append(self.run_layer(spec, batch, algorithm))
+        return profile
+
+    def compare_network(self, network: NetworkSpec, batch: int = 1
+                        ) -> NetworkComparison:
+        """im2col vs F2 vs F4 comparison (one Table VII row)."""
+        return NetworkComparison(
+            network=network.name,
+            batch=batch,
+            resolution=network.input_resolution,
+            im2col=self.run_network(network, batch, "im2col"),
+            f2=self.run_network(network, batch, "F2"),
+            f4=self.run_network(network, batch, "F4"),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Derived configurations
+    # ------------------------------------------------------------------ #
+    def with_bandwidth_scale(self, scale: float) -> "AcceleratorSystem":
+        """A system with scaled external bandwidth (Table VII starred columns)."""
+        return AcceleratorSystem(self.config.with_bandwidth_scale(scale))

@@ -1,0 +1,12 @@
+"""Synthetic datasets and augmentation (CIFAR-10 / ImageNet stand-ins)."""
+
+from .augment import (Compose, RandomCrop, RandomHorizontalFlip,
+                      standard_train_augmentation)
+from .synthetic import (DATASET_REGISTRY, class_prototype,
+                        make_imagenet_like_dataset, make_shapes_dataset)
+
+__all__ = [
+    "make_shapes_dataset", "make_imagenet_like_dataset", "DATASET_REGISTRY",
+    "class_prototype",
+    "RandomHorizontalFlip", "RandomCrop", "Compose", "standard_train_augmentation",
+]

@@ -1,0 +1,61 @@
+"""Data augmentation: the standard preprocessing the paper applies.
+
+Random horizontal flip and random crop with zero padding (CIFAR-style), plus
+colour normalisation (already applied by the synthetic generators).  All
+transforms operate on whole batches of NCHW arrays and take an explicit RNG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RandomHorizontalFlip", "RandomCrop", "Compose", "standard_train_augmentation"]
+
+
+class RandomHorizontalFlip:
+    """Flip each image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5):
+        self.p = p
+
+    def __call__(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        flip_mask = rng.random(images.shape[0]) < self.p
+        out = images.copy()
+        out[flip_mask] = out[flip_mask, :, :, ::-1]
+        return out
+
+
+class RandomCrop:
+    """Pad by ``padding`` pixels and crop back to the original size."""
+
+    def __init__(self, padding: int = 4):
+        self.padding = padding
+
+    def __call__(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n, c, h, w = images.shape
+        p = self.padding
+        padded = np.pad(images, ((0, 0), (0, 0), (p, p), (p, p)))
+        out = np.empty_like(images)
+        offsets_h = rng.integers(0, 2 * p + 1, size=n)
+        offsets_w = rng.integers(0, 2 * p + 1, size=n)
+        for i in range(n):
+            oh, ow = offsets_h[i], offsets_w[i]
+            out[i] = padded[i, :, oh:oh + h, ow:ow + w]
+        return out
+
+
+class Compose:
+    """Apply a list of batch transforms in order."""
+
+    def __init__(self, transforms: list):
+        self.transforms = list(transforms)
+
+    def __call__(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in self.transforms:
+            images = transform(images, rng)
+        return images
+
+
+def standard_train_augmentation(padding: int = 4) -> Compose:
+    """Random flip + random crop, the paper's CIFAR-10 training transform."""
+    return Compose([RandomHorizontalFlip(0.5), RandomCrop(padding)])

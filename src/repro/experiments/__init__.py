@@ -1,0 +1,37 @@
+"""Experiment runners: one module per table / figure of the paper."""
+
+from .common import PAPER_REFERENCE, ExperimentResult
+from .fig1_weight_distribution import (collect_3x3_weights, dynamic_range_spread_bits,
+                                       run_fig1, tap_histograms, tap_statistics)
+from .fig4_quant_error import quant_error_summary, run_fig4
+from .fig5_cycle_breakdown import FIG5_WORKLOADS, run_fig5
+from .fig6_memory_energy import FIG6_NETWORKS, run_fig6
+from .table1_engines import engine_design_space, run_table1
+from .table2_ablation import run_table2, table2_configs
+from .table3_soa import TABLE3_MODELS, run_table3, table3_configs
+from .table4_throughput_sweep import (TABLE4_BATCHES, TABLE4_CHANNELS,
+                                      TABLE4_RESOLUTIONS, run_table4,
+                                      table4_workloads)
+from .table5_area_power import run_table5
+from .table6_nvdla import TABLE6_LAYERS, run_table6
+from .table7_networks import TABLE7_POINTS, Table7Point, run_table7
+from .training_harness import (QuantizationStudy, StudyRow, StudySettings,
+                               train_float_baseline)
+
+__all__ = [
+    "ExperimentResult", "PAPER_REFERENCE",
+    "run_fig1", "tap_statistics", "tap_histograms", "collect_3x3_weights",
+    "dynamic_range_spread_bits",
+    "run_fig4", "quant_error_summary",
+    "run_fig5", "FIG5_WORKLOADS",
+    "run_fig6", "FIG6_NETWORKS",
+    "run_table1", "engine_design_space",
+    "run_table2", "table2_configs",
+    "run_table3", "table3_configs", "TABLE3_MODELS",
+    "run_table4", "table4_workloads", "TABLE4_BATCHES", "TABLE4_RESOLUTIONS",
+    "TABLE4_CHANNELS",
+    "run_table5",
+    "run_table6", "TABLE6_LAYERS",
+    "run_table7", "TABLE7_POINTS", "Table7Point",
+    "QuantizationStudy", "StudyRow", "StudySettings", "train_float_baseline",
+]

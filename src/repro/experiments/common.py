@@ -1,0 +1,111 @@
+"""Shared infrastructure for the per-table / per-figure experiment runners.
+
+Every experiment returns a list of plain-dict rows plus helper formatting, so
+benchmarks, examples and EXPERIMENTS.md generation all reuse the same code.
+Paper reference values are collected here so tests can check that the
+reproduced *shape* (orderings, approximate ratios) matches the publication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..utils.tables import format_table
+
+__all__ = ["ExperimentResult", "PAPER_REFERENCE"]
+
+
+@dataclass
+class ExperimentResult:
+    """A generic experiment outcome: named rows with a shared column set."""
+
+    experiment: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def add_row(self, *values) -> None:
+        self.rows.append(list(values))
+
+    def to_text(self, digits: int = 2) -> str:
+        return format_table(self.headers, self.rows, digits)
+
+    def column(self, name: str) -> list:
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+    def as_dicts(self) -> list[dict]:
+        return [dict(zip(self.headers, row)) for row in self.rows]
+
+
+# --------------------------------------------------------------------------- #
+# Reference values quoted from the paper, used for shape checks in the tests
+# and for the paper-vs-measured columns of EXPERIMENTS.md.
+# --------------------------------------------------------------------------- #
+PAPER_REFERENCE = {
+    # Table II (ResNet-34 / ImageNet, accuracy drop in % top-1 vs FP32 baseline)
+    "table2": {
+        "im2col_int8_drop": 0.0,
+        "f4_layerwise_int8_drop": -13.6,
+        "f4_tapwise_int8_drop": -1.2,
+        "f4_tapwise_int8_10_drop": -0.6,
+        "f4_tapwise_kd_int8_drop": -0.1,
+        "f4_pow2_log2_kd_int8_drop": -1.5,
+        "f4_pow2_log2_kd_int8_10_drop": -0.3,
+    },
+    # Table III highlights
+    "table3": {
+        "resnet20_tapwise_f4_int8_drop": -0.6,
+        "resnet20_tapwise_f4_int8_9_drop": 0.0,
+        "resnet50_tapwise_f4_int8_drop": -0.3,
+        "resnet50_tapwise_f4_int8_10_drop": 0.0,
+    },
+    # Fig. 4: mean relative error exponents (log2)
+    "fig4": {
+        "spatial_layerwise": -6.01,
+        "spatial_channelwise": -6.72,
+        "winograd_layerwise": -5.58,
+        "winograd_channelwise": -5.62,
+        "winograd_tapwise": -6.78,
+        "tapwise_gain_over_layerwise": 2.3,
+    },
+    # Table IV extremes (speed-up of Winograd F4 over im2col)
+    "table4": {
+        "min_speedup": 0.99,
+        "max_speedup": 3.42,
+    },
+    # Table V headline overheads
+    "table5": {
+        "engine_area_fraction": 0.061,
+        "winograd_power_overhead_vs_cube": 0.17,
+        "cube_area_mm2": 2.04,
+    },
+    # Table VI (time in us for the three layers; speed-up vs direct NVDLA)
+    "table6": {
+        "ours_speedups": [2.62, 2.59, 3.16],
+        "nvdla_iso_bw_speedups": [1.74, 1.89, 0.72],
+        "nvdla_inf_bw_speedups": [2.03, 2.13, 2.09],
+        "ours_vs_nvdla_range": (1.5, 3.3),
+    },
+    # Table VII headline end-to-end numbers (F4 vs im2col speed-up)
+    "table7": {
+        "resnet34_b1": 1.07,
+        "resnet50_b1": 1.02,
+        "retinanet_b1": 1.49,
+        "ssd_vgg16_b1": 1.55,
+        "unet_b1": 1.74,
+        "yolov3_256_b1": 1.13,
+        "ssd_vgg16_b8": 1.83,
+        "resnet34_b16": 1.36,
+        "max_energy_gain": 1.85,
+        "winograd_layer_speedup_avg": 1.9,
+        "winograd_layer_speedup_max": 2.60,
+    },
+    # Fig. 6 qualitative statements
+    "fig6": {
+        "l1_wt_write_ratio": 4.0,
+        "l0a_write_ratio": 0.25,      # 2.25/9
+        "l0c_ratio": 2.25,
+        "energy_total_ratio_max": 0.55,
+    },
+}

@@ -1,0 +1,54 @@
+"""Fig. 5 — cycle-usage breakdown of im2col vs Winograd F4.
+
+The paper shows, for four representative workloads, the critical-path cycles
+of the Winograd operator split by pipeline stage and normalised to the im2col
+operator.  The same workloads and the same normalisation are produced here.
+"""
+
+from __future__ import annotations
+
+from ..accelerator.profile import BREAKDOWN_CATEGORIES
+from ..accelerator.system import AcceleratorSystem
+from ..models.layer_specs import Conv2DSpec
+from .common import ExperimentResult
+
+__all__ = ["FIG5_WORKLOADS", "run_fig5"]
+
+# (batch, resolution, cin, cout) as in the figure's y-axis labels.
+FIG5_WORKLOADS = (
+    (1, 32, 128, 128),
+    (1, 32, 256, 256),
+    (8, 32, 128, 128),
+    (8, 32, 256, 256),
+)
+
+
+def run_fig5(system: AcceleratorSystem | None = None,
+             workloads=FIG5_WORKLOADS, algorithm: str = "F4") -> ExperimentResult:
+    """Normalised cycle breakdown for each Fig. 5 workload."""
+    system = system or AcceleratorSystem()
+    headers = (["workload", "algorithm", "total_norm"]
+               + [category for category in BREAKDOWN_CATEGORIES])
+    result = ExperimentResult(experiment="fig5_cycle_breakdown", headers=headers,
+                              metadata={"algorithm": algorithm})
+
+    for batch, resolution, cin, cout in workloads:
+        spec = Conv2DSpec(name=f"fig5_b{batch}_hw{resolution}_ci{cin}_co{cout}",
+                          cin=cin, cout=cout, kernel=3, stride=1,
+                          out_h=resolution, out_w=resolution)
+        baseline = system.run_layer(spec, batch, "im2col")
+        wino = system.run_layer(spec, batch, algorithm)
+        norm = baseline.total_cycles
+        label = f"{batch}, {resolution}, {cin}, {cout}"
+        for profile in (baseline, wino):
+            row = [label, profile.algorithm, profile.total_cycles / norm]
+            row += [profile.breakdown.cycles.get(category, 0.0) / norm
+                    for category in BREAKDOWN_CATEGORIES]
+            result.rows.append(row)
+        result.metadata[label] = {
+            "winograd_norm_time": wino.total_cycles / norm,
+            "weight_phase_fraction": (
+                (wino.breakdown.cycles.get("WT_LOAD", 0.0)
+                 + wino.breakdown.cycles.get("WT_XFORM", 0.0)) / wino.total_cycles),
+        }
+    return result

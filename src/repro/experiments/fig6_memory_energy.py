@@ -1,0 +1,76 @@
+"""Fig. 6 — memory access counts and energy breakdown of Winograd F4 vs im2col.
+
+The paper averages, over the Winograd-eligible layers of the Table VII
+networks, (left) the number of read/write accesses per memory level and
+(right) the per-component energy, both normalised to the im2col operator.
+"""
+
+from __future__ import annotations
+
+from ..accelerator.system import AcceleratorSystem
+from ..models.layer_specs import get_network_spec
+from .common import ExperimentResult
+
+__all__ = ["FIG6_NETWORKS", "run_fig6"]
+
+FIG6_NETWORKS = ("resnet34", "resnet50", "ssd_vgg16", "yolov3", "unet")
+
+_TRAFFIC_LEVELS = ("GM_FM", "GM_WT", "L1_FM", "L1_WT", "L0A", "L0B", "L0C")
+
+
+def run_fig6(system: AcceleratorSystem | None = None,
+             networks=FIG6_NETWORKS, batch: int = 1,
+             algorithm: str = "F4") -> ExperimentResult:
+    """Aggregate traffic/energy ratios over the Winograd layers of the suite."""
+    system = system or AcceleratorSystem()
+
+    totals = {"im2col": {"reads": {}, "writes": {}, "energy": {}},
+              algorithm: {"reads": {}, "writes": {}, "energy": {}}}
+    total_energy = {"im2col": 0.0, algorithm: 0.0}
+
+    for network_name in networks:
+        spec = get_network_spec(network_name)
+        for layer in spec.winograd_layers():
+            baseline = system.run_layer(layer, batch, "im2col")
+            wino = system.run_layer(layer, batch, f"{algorithm}-only")
+            for key, profile in (("im2col", baseline), (algorithm, wino)):
+                store = totals[key]
+                for level in _TRAFFIC_LEVELS:
+                    store["reads"][level] = (store["reads"].get(level, 0.0)
+                                             + profile.traffic.total_read(level))
+                    store["writes"][level] = (store["writes"].get(level, 0.0)
+                                              + profile.traffic.total_write(level))
+                for component, value in profile.energy.energy_uj.items():
+                    store["energy"][component] = (store["energy"].get(component, 0.0)
+                                                  + value)
+                total_energy[key] += profile.energy.total()
+
+    result = ExperimentResult(
+        experiment="fig6_memory_energy",
+        headers=["level", "read_ratio", "write_ratio"],
+        metadata={
+            "networks": list(networks),
+            "algorithm": algorithm,
+            "total_energy_ratio": (total_energy[algorithm] / total_energy["im2col"]
+                                   if total_energy["im2col"] else 0.0),
+        },
+    )
+    for level in _TRAFFIC_LEVELS:
+        base_read = totals["im2col"]["reads"].get(level, 0.0)
+        base_write = totals["im2col"]["writes"].get(level, 0.0)
+        wino_read = totals[algorithm]["reads"].get(level, 0.0)
+        wino_write = totals[algorithm]["writes"].get(level, 0.0)
+        result.add_row(level,
+                       wino_read / base_read if base_read else 0.0,
+                       wino_write / base_write if base_write else 0.0)
+
+    # Energy breakdown (normalised to the *total* im2col energy, as in Fig. 6).
+    base_total = total_energy["im2col"] or 1.0
+    energy_rows = {}
+    for component, value in totals[algorithm]["energy"].items():
+        energy_rows[component] = value / base_total
+    result.metadata["energy_breakdown_vs_im2col"] = energy_rows
+    result.metadata["im2col_energy_breakdown"] = {
+        component: value / base_total
+        for component, value in totals["im2col"]["energy"].items()}
+    return result

@@ -1,0 +1,79 @@
+"""Table I — performance and bandwidth of the Winograd transformation engines.
+
+Reports, for each engine style (row-by-row slow/fast, tap-by-tap) and each of
+the three F4 transformation matrices, the cycles per transform, the number of
+parallel transforms, and the read/write bandwidth — plus the DFG-derived adder
+counts that feed the area model (the engine design-space exploration of
+Section IV-B1).
+"""
+
+from __future__ import annotations
+
+from ..winograd.dfg import transform_2d_cost
+from ..winograd.engines import RowByRowEngine, TapByTapEngine
+from ..winograd.transforms import WinogradTransform, winograd_f4
+from .common import ExperimentResult
+
+__all__ = ["run_table1", "engine_design_space"]
+
+
+def run_table1(transform: WinogradTransform | None = None,
+               pc: int = 1, ps: int = 1, pt: int = 1) -> ExperimentResult:
+    """Reproduce the Table I summary for a unit-parallelism engine."""
+    transform = transform or winograd_f4()
+    result = ExperimentResult(
+        experiment="table1_engines",
+        headers=["engine", "matrix", "cycles_per_xform", "parallel_xforms",
+                 "rd_bw_elems", "wr_bw_elems", "adders_per_pe"],
+        metadata={"transform": transform.name},
+    )
+    matrices = {"BT (input)": transform.BT, "G (weight)": transform.G,
+                "AT (output)": transform.AT}
+    for label, matrix in matrices.items():
+        slow = RowByRowEngine(matrix, pc=pc, ps=ps, fast=False)
+        fast = RowByRowEngine(matrix, pc=pc, ps=ps, fast=True)
+        tap = TapByTapEngine(matrix, pc=pc, ps=ps, pt=pt)
+        for name, engine in (("row-by-row slow", slow), ("row-by-row fast", fast),
+                             ("tap-by-tap", tap)):
+            spec = engine.spec()
+            result.add_row(name, label, spec.cycles_per_transform,
+                           spec.parallel_transforms, spec.read_bw, spec.write_bw,
+                           engine.adders_per_pe())
+    return result
+
+
+def engine_design_space(transform: WinogradTransform | None = None
+                        ) -> ExperimentResult:
+    """Area/throughput trade-off sweep over engine styles and parallelism.
+
+    This is the ablation bench for the engine design choices DESIGN.md calls
+    out: it shows why the paper uses the row-by-row (fast) engine for the
+    input/output transformations and the tap-by-tap engine for the weights.
+    """
+    transform = transform or winograd_f4()
+    result = ExperimentResult(
+        experiment="table1_engine_design_space",
+        headers=["usage", "engine", "pc", "ps", "pt", "xforms_per_cycle",
+                 "rd_bw", "wr_bw", "total_adders"],
+        metadata={"transform": transform.name},
+    )
+    sweeps = {
+        "input (BT)": (transform.BT, [(32, 2, 1), (32, 1, 1), (16, 2, 1)]),
+        "weight (G)": (transform.G, [(1, 1, 4), (2, 1, 8), (8, 1, 48)]),
+        "output (AT)": (transform.AT, [(16, 1, 1), (8, 1, 1), (8, 2, 1)]),
+    }
+    for usage, (matrix, configs) in sweeps.items():
+        for pc, ps, pt in configs:
+            for name, engine in (
+                    ("row-by-row slow", RowByRowEngine(matrix, pc=pc, ps=ps, fast=False)),
+                    ("row-by-row fast", RowByRowEngine(matrix, pc=pc, ps=ps, fast=True)),
+                    ("tap-by-tap", TapByTapEngine(matrix, pc=pc, ps=ps, pt=pt))):
+                spec = engine.spec()
+                result.add_row(usage, name, pc, ps, pt,
+                               spec.transforms_per_cycle(), spec.read_bw,
+                               spec.write_bw, engine.total_adders())
+    dfg = {name: transform_2d_cost(matrix.T)
+           for name, matrix in (("BT", transform.BT), ("G", transform.G),
+                                ("AT", transform.AT))}
+    result.metadata["dfg_costs"] = dfg
+    return result

@@ -1,0 +1,73 @@
+"""Table IV — Winograd-operator speed-up over im2col for synthetic Conv2D layers.
+
+The paper sweeps 63 3x3 / stride-1 layers over batch size, output resolution
+and channel counts; every cell of Table IV is the throughput of the F4
+Winograd operator normalised to the im2col operator on the same layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..accelerator.system import AcceleratorSystem
+from ..models.layer_specs import Conv2DSpec
+from .common import ExperimentResult
+
+__all__ = ["TABLE4_BATCHES", "TABLE4_RESOLUTIONS", "TABLE4_CHANNELS",
+           "table4_workloads", "run_table4"]
+
+TABLE4_BATCHES = (1, 8)
+TABLE4_RESOLUTIONS = (16, 32, 64, 128)
+TABLE4_CHANNELS = ((64, 64), (128, 128), (192, 128), (256, 192), (256, 256),
+                   (256, 384), (512, 256), (512, 512))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    batch: int
+    resolution: int
+    cin: int
+    cout: int
+
+    def spec(self) -> Conv2DSpec:
+        return Conv2DSpec(name=f"synth_b{self.batch}_hw{self.resolution}"
+                               f"_ci{self.cin}_co{self.cout}",
+                          cin=self.cin, cout=self.cout, kernel=3, stride=1,
+                          out_h=self.resolution, out_w=self.resolution)
+
+
+def table4_workloads(batches=TABLE4_BATCHES, resolutions=TABLE4_RESOLUTIONS,
+                     channels=TABLE4_CHANNELS) -> list[SweepPoint]:
+    """The synthetic benchmark suite (63+ layer shapes in the full sweep)."""
+    return [SweepPoint(batch, resolution, cin, cout)
+            for batch in batches
+            for resolution in resolutions
+            for cin, cout in channels]
+
+
+def run_table4(system: AcceleratorSystem | None = None,
+               algorithm: str = "F4",
+               batches=TABLE4_BATCHES, resolutions=TABLE4_RESOLUTIONS,
+               channels=TABLE4_CHANNELS) -> ExperimentResult:
+    """Compute the speed-up grid of Table IV."""
+    system = system or AcceleratorSystem()
+    result = ExperimentResult(
+        experiment="table4_throughput_sweep",
+        headers=["batch", "resolution", "cin", "cout", "speedup",
+                 "im2col_cycles", "winograd_cycles", "winograd_bottleneck"],
+        metadata={"algorithm": algorithm},
+    )
+    speedups = []
+    for point in table4_workloads(batches, resolutions, channels):
+        spec = point.spec()
+        baseline = system.run_layer(spec, point.batch, "im2col")
+        wino = system.run_layer(spec, point.batch, algorithm)
+        speedup = baseline.total_cycles / wino.total_cycles
+        speedups.append(speedup)
+        result.add_row(point.batch, point.resolution, point.cin, point.cout,
+                       speedup, baseline.total_cycles, wino.total_cycles,
+                       wino.notes)
+    result.metadata["min_speedup"] = min(speedups)
+    result.metadata["max_speedup"] = max(speedups)
+    result.metadata["mean_speedup"] = sum(speedups) / len(speedups)
+    return result

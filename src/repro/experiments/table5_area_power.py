@@ -1,0 +1,58 @@
+"""Table V — area and power breakdown of the AI core.
+
+Reports the per-unit area/power cost model (taken from the paper's 28 nm
+implementation) together with the derived quantities discussed in
+Section V-B2: the Winograd extensions' area fraction, the power overhead
+relative to the Cube Unit, the compute TOp/s/W for the im2col and F4 kernels,
+and a DFG-driven relative area estimate of the three transformation engines.
+"""
+
+from __future__ import annotations
+
+from ..accelerator.area_power import (compute_tops_per_watt, core_breakdown,
+                                      engine_area_model,
+                                      winograd_extension_overhead)
+from ..accelerator.config import AICoreConfig, TABLE_V_POWER_MW
+from ..winograd.transforms import winograd_f4
+from .common import ExperimentResult
+
+__all__ = ["run_table5"]
+
+
+def run_table5(core: AICoreConfig | None = None) -> ExperimentResult:
+    """Reproduce the Table V breakdown plus the derived overhead figures."""
+    core = core or AICoreConfig()
+    breakdown = core_breakdown(core)
+    overhead = winograd_extension_overhead(core)
+    engine_model = engine_area_model(winograd_f4(), core)
+
+    result = ExperimentResult(
+        experiment="table5_area_power",
+        headers=["unit", "area_mm2", "area_fraction", "peak_power_mw"],
+        metadata={
+            "engine_area_fraction": overhead["engine_area_fraction"],
+            "engine_power_vs_cube": overhead["engine_power_vs_cube"],
+            "cube_power_increase_winograd": overhead["cube_power_increase_winograd"],
+            "tops_per_watt_im2col": compute_tops_per_watt("im2col", core),
+            "tops_per_watt_f4": compute_tops_per_watt("F4", core),
+            "engine_adders": engine_model["adders"],
+            "engine_area_estimate_mm2": engine_model["area_mm2_estimate"],
+        },
+    )
+    power_lookup = {
+        "CUBE": TABLE_V_POWER_MW["CUBE_IM2COL"],
+        "MTE1_IM2COL": TABLE_V_POWER_MW["MTE1_IM2COL"],
+        "MTE1_IN_XFORM": TABLE_V_POWER_MW["MTE1_IN_XFORM"],
+        "MTE1_WT_XFORM": TABLE_V_POWER_MW["MTE1_WT_XFORM"],
+        "FIXPIPE_OUT_XFORM": TABLE_V_POWER_MW["FIXPIPE_OUT_XFORM"],
+    }
+    for unit, area in sorted(breakdown.area_mm2.items(), key=lambda kv: -kv[1]):
+        result.add_row(unit, area, breakdown.area_fraction(unit),
+                       power_lookup.get(unit, float("nan")))
+    # Memory access costs as additional rows (read/write pJ per byte).
+    for memory in core.memories:
+        result.add_row(f"{memory.name} (rd {memory.read_pj_per_byte} pJ/B, "
+                       f"wr {memory.write_pj_per_byte} pJ/B)",
+                       memory.area_mm2, breakdown.area_fraction(memory.name),
+                       float("nan"))
+    return result

@@ -1,0 +1,68 @@
+"""Table VI — comparison with an NVDLA-based system.
+
+The paper compares its 2-core Winograd-F4 DSA against 8 NVDLA engines (same
+8 TOp/s peak) under two bandwidth regimes: quasi-infinite (128 Gword/s) and
+iso-word-bandwidth (42.7 Gword/s vs the DSA's 41 Gword/s), on three layer
+shapes.  Speed-ups are reported relative to each system's *direct/im2col*
+convolution.
+"""
+
+from __future__ import annotations
+
+from ..accelerator.nvdla import NvdlaConfig, NvdlaSystem
+from ..accelerator.system import AcceleratorSystem
+from ..models.layer_specs import Conv2DSpec
+from .common import ExperimentResult
+
+__all__ = ["TABLE6_LAYERS", "run_table6"]
+
+# (batch, H, W, Cin, Cout) exactly as in Table VI.
+TABLE6_LAYERS = (
+    (8, 32, 32, 128, 128),
+    (8, 32, 32, 128, 256),
+    (8, 32, 32, 256, 512),
+)
+
+
+def run_table6(system: AcceleratorSystem | None = None,
+               nvdla_infinite: NvdlaSystem | None = None,
+               nvdla_iso: NvdlaSystem | None = None) -> ExperimentResult:
+    """Reproduce Table VI: time and speed-up for the three layers."""
+    system = system or AcceleratorSystem()
+    nvdla_infinite = nvdla_infinite or NvdlaSystem(NvdlaConfig(
+        bandwidth_gwords_per_second=128.0))
+    nvdla_iso = nvdla_iso or NvdlaSystem(NvdlaConfig(
+        bandwidth_gwords_per_second=42.7))
+
+    result = ExperimentResult(
+        experiment="table6_nvdla",
+        headers=["B,H,W,Cin,Cout",
+                 "nvdla_inf_t_us", "nvdla_inf_speedup",
+                 "nvdla_iso_t_us", "nvdla_iso_speedup",
+                 "ours_t_us", "ours_speedup",
+                 "ours_vs_nvdla_iso"],
+        metadata={
+            "nvdla_peak_tops": nvdla_iso.config.peak_tops,
+            "ours_peak_tops": system.config.peak_tops,
+        },
+    )
+    clock = system.config.core.clock_ghz
+    for batch, h, w, cin, cout in TABLE6_LAYERS:
+        spec = Conv2DSpec(name=f"table6_b{batch}_{h}x{w}_{cin}_{cout}",
+                          cin=cin, cout=cout, kernel=3, stride=1, out_h=h, out_w=w)
+        ours_base = system.run_layer(spec, batch, "im2col")
+        ours_f4 = system.run_layer(spec, batch, "F4")
+        ours_t_us = ours_f4.total_cycles / (clock * 1e9) * 1e6
+        ours_speedup = ours_base.total_cycles / ours_f4.total_cycles
+
+        rows_metrics = []
+        for nvdla in (nvdla_infinite, nvdla_iso):
+            direct = nvdla.run_layer(spec, batch, "direct")
+            wino = nvdla.run_layer(spec, batch, "winograd")
+            rows_metrics.append((wino.time_us, direct.cycles / wino.cycles))
+        (inf_t, inf_su), (iso_t, iso_su) = rows_metrics
+
+        result.add_row(f"{batch},{h},{w},{cin},{cout}",
+                       inf_t, inf_su, iso_t, iso_su, ours_t_us, ours_speedup,
+                       iso_t / ours_t_us)
+    return result

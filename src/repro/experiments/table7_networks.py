@@ -1,0 +1,88 @@
+"""Table VII — end-to-end throughput and energy efficiency on 7 CNNs.
+
+For every (network, batch, resolution) point of Table VII the experiment runs
+the full Conv2D layer list through the accelerator model with the im2col,
+Winograd-F2, and Winograd-F4 operators (per-layer best-kernel selection, as
+the paper's compiler does), at the baseline external bandwidth and at 1.5x
+bandwidth (the starred columns), and reports:
+
+* throughput in images/s,
+* speed-ups F2-vs-im2col, F4-vs-im2col, F4-vs-F2 (full network and
+  Winograd-eligible layers only),
+* the energy-efficiency gain of F4 over im2col (Inf/J).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..accelerator.system import AcceleratorSystem
+from ..models.layer_specs import get_network_spec
+from .common import ExperimentResult
+
+__all__ = ["TABLE7_POINTS", "Table7Point", "run_table7"]
+
+
+@dataclass(frozen=True)
+class Table7Point:
+    network: str
+    batch: int
+    resolution: int
+
+
+# The (network, batch, resolution) rows of Table VII.
+TABLE7_POINTS = (
+    Table7Point("resnet34", 1, 224),
+    Table7Point("resnet50", 1, 224),
+    Table7Point("retinanet_r50_fpn", 1, 800),
+    Table7Point("ssd_vgg16", 1, 300),
+    Table7Point("unet", 1, 572),
+    Table7Point("yolov3", 1, 256),
+    Table7Point("yolov3", 1, 416),
+    Table7Point("ssd_vgg16", 8, 300),
+    Table7Point("yolov3", 8, 256),
+    Table7Point("resnet34", 16, 224),
+    Table7Point("resnet50", 16, 224),
+    Table7Point("yolov3", 16, 256),
+)
+
+
+def run_table7(system: AcceleratorSystem | None = None,
+               points=TABLE7_POINTS,
+               bandwidth_scale: float = 1.5) -> ExperimentResult:
+    """Run the full-network evaluation of Table VII."""
+    system = system or AcceleratorSystem()
+    boosted = system.with_bandwidth_scale(bandwidth_scale)
+
+    result = ExperimentResult(
+        experiment="table7_networks",
+        headers=["network", "batch", "res",
+                 "im2col_img_s", "f2_img_s", "f4_img_s",
+                 "f2_vs_im2col", "f4_vs_im2col", "f4_vs_f2",
+                 "f4_vs_im2col_wino_layers",
+                 "hbw_f2_vs_im2col", "hbw_f4_vs_im2col", "hbw_f4_vs_f2",
+                 "f4_energy_gain"],
+        metadata={"bandwidth_scale": bandwidth_scale},
+    )
+    for point in points:
+        spec = get_network_spec(point.network, point.resolution)
+        comparison = system.compare_network(spec, point.batch)
+        boosted_cmp = boosted.compare_network(spec, point.batch)
+        result.add_row(
+            point.network, point.batch, point.resolution,
+            comparison.im2col.throughput_images_per_second(),
+            comparison.f2.throughput_images_per_second(),
+            comparison.f4.throughput_images_per_second(),
+            comparison.speedup("F2"),
+            comparison.speedup("F4"),
+            comparison.speedup("F4", reference="F2"),
+            comparison.speedup("F4", winograd_layers_only=True),
+            boosted_cmp.speedup("F2"),
+            boosted_cmp.speedup("F4"),
+            boosted_cmp.speedup("F4", reference="F2"),
+            comparison.energy_efficiency_gain("F4"),
+        )
+    speedups = result.column("f4_vs_im2col")
+    result.metadata["max_f4_speedup"] = max(speedups)
+    result.metadata["max_energy_gain"] = max(result.column("f4_energy_gain"))
+    return result

@@ -1,0 +1,21 @@
+"""Reference CNN models and per-network Conv2D layer-shape specifications."""
+
+from .layer_specs import (NETWORK_SPECS, Conv2DSpec, NetworkSpec, get_network_spec,
+                          resnet34_spec, resnet50_spec,
+                          retinanet_resnet50_fpn_spec, ssd_vgg16_spec, unet_spec,
+                          vgg16_features_spec, yolov3_spec)
+from .resnet_cifar import ResNetCifar, resnet20, resnet32, resnet_tiny
+from .resnet_imagenet import (ResNetImageNet, resnet18, resnet34, resnet34_slim,
+                              resnet50)
+from .small import MicroNet, TinyConvNet, micro_net, tiny_convnet
+from .vgg import VGGNagadomi, vgg_nagadomi, vgg_nagadomi_tiny
+
+__all__ = [
+    "ResNetCifar", "resnet20", "resnet32", "resnet_tiny",
+    "ResNetImageNet", "resnet18", "resnet34", "resnet50", "resnet34_slim",
+    "VGGNagadomi", "vgg_nagadomi", "vgg_nagadomi_tiny",
+    "TinyConvNet", "tiny_convnet", "MicroNet", "micro_net",
+    "Conv2DSpec", "NetworkSpec", "NETWORK_SPECS", "get_network_spec",
+    "resnet34_spec", "resnet50_spec", "retinanet_resnet50_fpn_spec",
+    "ssd_vgg16_spec", "yolov3_spec", "unet_spec", "vgg16_features_spec",
+]

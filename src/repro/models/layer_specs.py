@@ -1,0 +1,442 @@
+"""Conv2D layer-shape specifications of the paper's benchmark networks.
+
+The system evaluation (Table VII, Figs. 5-6) runs seven state-of-the-art CNNs
+through the accelerator model.  What the performance model needs from each
+network is the *sequence of Conv2D layer shapes* (channels, kernel, stride,
+output resolution); this module builds those sequences programmatically from
+the published architectures:
+
+* ResNet-34 / ResNet-50 (classification, 224x224),
+* RetinaNet-ResNet50-FPN (detection, 800x800),
+* SSD-VGG16 (detection, 300x300),
+* YOLOv3 / Darknet-53 (detection, 256 or 416),
+* U-Net (segmentation, 572x572).
+
+Only convolutional layers are listed (they dominate compute); fully-connected
+layers, normalisation and activation costs are negligible at the accelerator
+level and are handled by the Vector Unit model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Conv2DSpec", "NetworkSpec", "resnet34_spec", "resnet50_spec",
+           "retinanet_resnet50_fpn_spec", "ssd_vgg16_spec", "yolov3_spec",
+           "unet_spec", "vgg16_features_spec", "NETWORK_SPECS", "get_network_spec"]
+
+
+@dataclass(frozen=True)
+class Conv2DSpec:
+    """Shape of one Conv2D layer (batch-independent)."""
+
+    name: str
+    cin: int
+    cout: int
+    kernel: int
+    stride: int
+    out_h: int
+    out_w: int
+    groups: int = 1
+
+    @property
+    def winograd_eligible(self) -> bool:
+        """The paper maps only 3x3 / stride-1 / non-grouped convs to Winograd."""
+        return self.kernel == 3 and self.stride == 1 and self.groups == 1
+
+    def macs(self, batch: int = 1) -> int:
+        """Multiply–accumulate count of the direct algorithm."""
+        return (batch * self.cout * self.out_h * self.out_w
+                * (self.cin // self.groups) * self.kernel * self.kernel)
+
+    def weight_bytes(self, bytes_per_elem: int = 1) -> int:
+        return (self.cout * (self.cin // self.groups) * self.kernel * self.kernel
+                * bytes_per_elem)
+
+    def ifm_bytes(self, batch: int = 1, bytes_per_elem: int = 1) -> int:
+        in_h = self.out_h * self.stride
+        in_w = self.out_w * self.stride
+        return batch * self.cin * in_h * in_w * bytes_per_elem
+
+    def ofm_bytes(self, batch: int = 1, bytes_per_elem: int = 1) -> int:
+        return batch * self.cout * self.out_h * self.out_w * bytes_per_elem
+
+
+@dataclass
+class NetworkSpec:
+    """An ordered list of Conv2D layers plus metadata."""
+
+    name: str
+    input_resolution: int
+    layers: list[Conv2DSpec] = field(default_factory=list)
+
+    def total_macs(self, batch: int = 1) -> int:
+        return sum(layer.macs(batch) for layer in self.layers)
+
+    def winograd_macs(self, batch: int = 1) -> int:
+        return sum(layer.macs(batch) for layer in self.layers if layer.winograd_eligible)
+
+    def winograd_fraction(self) -> float:
+        total = self.total_macs()
+        return self.winograd_macs() / total if total else 0.0
+
+    def winograd_layers(self) -> list[Conv2DSpec]:
+        return [layer for layer in self.layers if layer.winograd_eligible]
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+
+class _ShapeTracker:
+    """Helper that tracks spatial resolution / channels while declaring layers."""
+
+    def __init__(self, name: str, resolution: int, in_channels: int = 3):
+        self.spec = NetworkSpec(name=name, input_resolution=resolution)
+        self.h = resolution
+        self.w = resolution
+        self.channels = in_channels
+        self._counter = 0
+
+    # -- layer declarations ------------------------------------------------ #
+    def conv(self, cout: int, kernel: int, stride: int = 1, padding: int | None = None,
+             name: str | None = None) -> "_ShapeTracker":
+        if padding is None:
+            padding = kernel // 2  # "same"-style padding, the common case
+        out_h = (self.h + 2 * padding - kernel) // stride + 1
+        out_w = (self.w + 2 * padding - kernel) // stride + 1
+        self._counter += 1
+        layer_name = name or f"{self.spec.name}.conv{self._counter}"
+        self.spec.layers.append(Conv2DSpec(
+            name=layer_name, cin=self.channels, cout=cout, kernel=kernel,
+            stride=stride, out_h=out_h, out_w=out_w))
+        self.h, self.w, self.channels = out_h, out_w, cout
+        return self
+
+    def pool(self, kernel: int = 2, stride: int | None = None,
+             padding: int = 0, ceil_mode: bool = False) -> "_ShapeTracker":
+        stride = stride or kernel
+        effective_h = self.h + 2 * padding - kernel
+        effective_w = self.w + 2 * padding - kernel
+        if ceil_mode:
+            self.h = -(-effective_h // stride) + 1
+            self.w = -(-effective_w // stride) + 1
+        else:
+            self.h = effective_h // stride + 1
+            self.w = effective_w // stride + 1
+        return self
+
+    def upsample(self, factor: int = 2) -> "_ShapeTracker":
+        self.h *= factor
+        self.w *= factor
+        return self
+
+    def set_channels(self, channels: int) -> "_ShapeTracker":
+        self.channels = channels
+        return self
+
+    def set_resolution(self, h: int, w: int | None = None) -> "_ShapeTracker":
+        self.h = h
+        self.w = w if w is not None else h
+        return self
+
+    def snapshot(self) -> tuple[int, int, int]:
+        return self.h, self.w, self.channels
+
+    def restore(self, snapshot: tuple[int, int, int]) -> "_ShapeTracker":
+        self.h, self.w, self.channels = snapshot
+        return self
+
+    def build(self) -> NetworkSpec:
+        return self.spec
+
+
+# --------------------------------------------------------------------------- #
+# Classification backbones
+# --------------------------------------------------------------------------- #
+def _resnet_basic_stage(t: _ShapeTracker, channels: int, blocks: int, stride: int,
+                        prefix: str) -> None:
+    for block in range(blocks):
+        block_stride = stride if block == 0 else 1
+        in_channels = t.channels
+        snapshot_needed = block_stride != 1 or in_channels != channels
+        t.conv(channels, 3, block_stride, name=f"{prefix}.{block}.conv1")
+        t.conv(channels, 3, 1, name=f"{prefix}.{block}.conv2")
+        if snapshot_needed:
+            # 1x1 projection on the shortcut path.
+            h, w, _ = t.snapshot()
+            t.spec.layers.append(Conv2DSpec(
+                name=f"{prefix}.{block}.downsample", cin=in_channels, cout=channels,
+                kernel=1, stride=block_stride, out_h=h, out_w=w))
+
+
+def _resnet_bottleneck_stage(t: _ShapeTracker, channels: int, blocks: int,
+                             stride: int, prefix: str) -> None:
+    expansion = 4
+    for block in range(blocks):
+        block_stride = stride if block == 0 else 1
+        in_channels = t.channels
+        t.conv(channels, 1, 1, name=f"{prefix}.{block}.conv1")
+        t.conv(channels, 3, block_stride, name=f"{prefix}.{block}.conv2")
+        t.conv(channels * expansion, 1, 1, name=f"{prefix}.{block}.conv3")
+        if block == 0:
+            h, w, _ = t.snapshot()
+            t.spec.layers.append(Conv2DSpec(
+                name=f"{prefix}.{block}.downsample", cin=in_channels,
+                cout=channels * expansion, kernel=1, stride=block_stride,
+                out_h=h, out_w=w))
+
+
+def resnet34_spec(resolution: int = 224) -> NetworkSpec:
+    """ResNet-34 Conv2D layers (Torchvision architecture)."""
+    t = _ShapeTracker("resnet34", resolution)
+    t.conv(64, 7, 2, padding=3, name="resnet34.conv1")
+    t.pool(3, 2, padding=1)
+    _resnet_basic_stage(t, 64, 3, 1, "resnet34.layer1")
+    _resnet_basic_stage(t, 128, 4, 2, "resnet34.layer2")
+    _resnet_basic_stage(t, 256, 6, 2, "resnet34.layer3")
+    _resnet_basic_stage(t, 512, 3, 2, "resnet34.layer4")
+    return t.build()
+
+
+def resnet50_spec(resolution: int = 224) -> NetworkSpec:
+    """ResNet-50 Conv2D layers (bottleneck blocks, many 1x1 convolutions)."""
+    t = _ShapeTracker("resnet50", resolution)
+    t.conv(64, 7, 2, padding=3, name="resnet50.conv1")
+    t.pool(3, 2, padding=1)
+    _resnet_bottleneck_stage(t, 64, 3, 1, "resnet50.layer1")
+    _resnet_bottleneck_stage(t, 128, 4, 2, "resnet50.layer2")
+    _resnet_bottleneck_stage(t, 256, 6, 2, "resnet50.layer3")
+    _resnet_bottleneck_stage(t, 512, 3, 2, "resnet50.layer4")
+    return t.build()
+
+
+def vgg16_features_spec(resolution: int = 224) -> NetworkSpec:
+    """The 13 convolutional layers of VGG-16 (backbone of SSD300)."""
+    t = _ShapeTracker("vgg16", resolution)
+    plan = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)]
+    for stage_idx, (channels, reps) in enumerate(plan):
+        for rep in range(reps):
+            t.conv(channels, 3, 1, name=f"vgg16.stage{stage_idx + 1}.conv{rep + 1}")
+        if stage_idx < len(plan) - 1:
+            t.pool(2, 2)
+    return t.build()
+
+
+# --------------------------------------------------------------------------- #
+# Detection networks
+# --------------------------------------------------------------------------- #
+def retinanet_resnet50_fpn_spec(resolution: int = 800,
+                                num_classes: int = 91,
+                                num_anchors: int = 9) -> NetworkSpec:
+    """RetinaNet with a ResNet-50-FPN backbone (Torchvision)."""
+    t = _ShapeTracker("retinanet_r50_fpn", resolution)
+    # Backbone (ResNet-50).
+    t.conv(64, 7, 2, padding=3, name="backbone.conv1")
+    t.pool(3, 2, padding=1)
+    _resnet_bottleneck_stage(t, 64, 3, 1, "backbone.layer1")
+    c2 = t.snapshot()
+    _resnet_bottleneck_stage(t, 128, 4, 2, "backbone.layer2")
+    c3 = t.snapshot()
+    _resnet_bottleneck_stage(t, 256, 6, 2, "backbone.layer3")
+    c4 = t.snapshot()
+    _resnet_bottleneck_stage(t, 512, 3, 2, "backbone.layer4")
+    c5 = t.snapshot()
+    del c2  # C2 is not used by the RetinaNet FPN
+
+    # FPN: 1x1 lateral + 3x3 output convolutions on C3, C4, C5.
+    fpn_channels = 256
+    pyramid: list[tuple[int, int]] = []
+    for level, snap in zip((3, 4, 5), (c3, c4, c5)):
+        t.restore(snap)
+        t.conv(fpn_channels, 1, 1, name=f"fpn.lateral_p{level}")
+        t.conv(fpn_channels, 3, 1, name=f"fpn.output_p{level}")
+        pyramid.append((t.h, t.w))
+    # P6: 3x3 stride-2 on C5; P7: ReLU + 3x3 stride-2 on P6.
+    t.restore(c5)
+    t.conv(fpn_channels, 3, 2, name="fpn.p6")
+    pyramid.append((t.h, t.w))
+    t.conv(fpn_channels, 3, 2, name="fpn.p7")
+    pyramid.append((t.h, t.w))
+
+    # Shared classification and regression heads applied at every level.
+    for level_idx, (h, w) in enumerate(pyramid):
+        level = level_idx + 3
+        t.set_resolution(h, w)
+        t.set_channels(fpn_channels)
+        for conv_idx in range(4):
+            t.conv(fpn_channels, 3, 1, name=f"head.cls.p{level}.conv{conv_idx + 1}")
+        t.conv(num_anchors * num_classes, 3, 1, name=f"head.cls.p{level}.logits")
+        t.set_channels(fpn_channels)
+        for conv_idx in range(4):
+            t.conv(fpn_channels, 3, 1, name=f"head.box.p{level}.conv{conv_idx + 1}")
+        t.conv(num_anchors * 4, 3, 1, name=f"head.box.p{level}.regression")
+    return t.build()
+
+
+def ssd_vgg16_spec(resolution: int = 300, num_classes: int = 81) -> NetworkSpec:
+    """SSD300 with a VGG-16 backbone (Liu et al.)."""
+    t = _ShapeTracker("ssd_vgg16", resolution)
+    anchors_per_map = [4, 6, 6, 6, 4, 4]
+    feature_maps: list[tuple[int, int, int]] = []
+
+    plan = [(64, 2), (128, 2), (256, 3)]
+    for stage_idx, (channels, reps) in enumerate(plan):
+        for rep in range(reps):
+            t.conv(channels, 3, 1, name=f"vgg.stage{stage_idx + 1}.conv{rep + 1}")
+        t.pool(2, 2, ceil_mode=(stage_idx == 2))
+    for rep in range(3):
+        t.conv(512, 3, 1, name=f"vgg.stage4.conv{rep + 1}")
+    feature_maps.append((t.h, t.w, 512))  # conv4_3 -> 38x38
+    t.pool(2, 2)
+    for rep in range(3):
+        t.conv(512, 3, 1, name=f"vgg.stage5.conv{rep + 1}")
+    t.pool(3, 1)  # pool5: 3x3 stride 1 keeps 19x19
+    t.set_resolution(t.h + 2, t.w + 2)  # padding=1 of pool5 restores 19x19
+    t.conv(1024, 3, 1, name="ssd.fc6")   # dilated conv in the original
+    t.conv(1024, 1, 1, name="ssd.fc7")
+    feature_maps.append((t.h, t.w, 1024))  # 19x19
+
+    # Extra feature layers.
+    t.conv(256, 1, 1, name="ssd.conv8_1")
+    t.conv(512, 3, 2, name="ssd.conv8_2")
+    feature_maps.append((t.h, t.w, 512))  # 10x10
+    t.conv(128, 1, 1, name="ssd.conv9_1")
+    t.conv(256, 3, 2, name="ssd.conv9_2")
+    feature_maps.append((t.h, t.w, 256))  # 5x5
+    t.conv(128, 1, 1, name="ssd.conv10_1")
+    t.conv(256, 3, 1, padding=0, name="ssd.conv10_2")
+    feature_maps.append((t.h, t.w, 256))  # 3x3
+    t.conv(128, 1, 1, name="ssd.conv11_1")
+    t.conv(256, 3, 1, padding=0, name="ssd.conv11_2")
+    feature_maps.append((t.h, t.w, 256))  # 1x1
+
+    # Detection heads (3x3) on each feature map.
+    for map_idx, ((h, w, channels), anchors) in enumerate(zip(feature_maps,
+                                                              anchors_per_map)):
+        t.set_resolution(h, w)
+        t.set_channels(channels)
+        t.conv(anchors * num_classes, 3, 1, name=f"head.cls{map_idx}")
+        t.set_channels(channels)
+        t.conv(anchors * 4, 3, 1, name=f"head.loc{map_idx}")
+    return t.build()
+
+
+def yolov3_spec(resolution: int = 416, num_classes: int = 80) -> NetworkSpec:
+    """YOLOv3 with the Darknet-53 backbone (Redmon & Farhadi)."""
+    t = _ShapeTracker("yolov3", resolution)
+    out_channels = 3 * (num_classes + 5)
+
+    def residual_block(channels: int, prefix: str) -> None:
+        t.conv(channels // 2, 1, 1, name=f"{prefix}.reduce")
+        t.conv(channels, 3, 1, name=f"{prefix}.expand")
+
+    # Darknet-53 backbone.
+    t.conv(32, 3, 1, name="darknet.conv0")
+    t.conv(64, 3, 2, name="darknet.down1")
+    residual_block(64, "darknet.res1.0")
+    t.conv(128, 3, 2, name="darknet.down2")
+    for idx in range(2):
+        residual_block(128, f"darknet.res2.{idx}")
+    t.conv(256, 3, 2, name="darknet.down3")
+    for idx in range(8):
+        residual_block(256, f"darknet.res3.{idx}")
+    route_36 = t.snapshot()  # 52x52x256
+    t.conv(512, 3, 2, name="darknet.down4")
+    for idx in range(8):
+        residual_block(512, f"darknet.res4.{idx}")
+    route_61 = t.snapshot()  # 26x26x512
+    t.conv(1024, 3, 2, name="darknet.down5")
+    for idx in range(4):
+        residual_block(1024, f"darknet.res5.{idx}")
+
+    def detection_block(channels: int, prefix: str) -> None:
+        """Five alternating 1x1/3x3 convs + 3x3 + 1x1 output conv."""
+        t.conv(channels, 1, 1, name=f"{prefix}.conv1")
+        t.conv(channels * 2, 3, 1, name=f"{prefix}.conv2")
+        t.conv(channels, 1, 1, name=f"{prefix}.conv3")
+        t.conv(channels * 2, 3, 1, name=f"{prefix}.conv4")
+        t.conv(channels, 1, 1, name=f"{prefix}.conv5")
+        t.conv(channels * 2, 3, 1, name=f"{prefix}.conv6")
+        t.conv(out_channels, 1, 1, name=f"{prefix}.output")
+
+    # Scale 1 head (13x13 for 416 input).
+    detection_block(512, "head.scale1")
+    # Scale 2: 1x1 conv, upsample, concat with route_61.
+    t.set_channels(512)
+    t.conv(256, 1, 1, name="head.scale2.route")
+    t.upsample(2)
+    t.set_channels(256 + route_61[2])
+    t.set_resolution(route_61[0], route_61[1])
+    detection_block(256, "head.scale2")
+    # Scale 3: 1x1 conv, upsample, concat with route_36.
+    t.set_channels(256)
+    t.conv(128, 1, 1, name="head.scale3.route")
+    t.upsample(2)
+    t.set_channels(128 + route_36[2])
+    t.set_resolution(route_36[0], route_36[1])
+    detection_block(128, "head.scale3")
+    return t.build()
+
+
+# --------------------------------------------------------------------------- #
+# Segmentation
+# --------------------------------------------------------------------------- #
+def unet_spec(resolution: int = 572, base_channels: int = 64,
+              num_classes: int = 2) -> NetworkSpec:
+    """U-Net (Ronneberger et al.) with the classic 4-level encoder/decoder.
+
+    "Same" padding is used for the spatial bookkeeping (the modern common
+    variant); the channel progression 64-128-256-512-1024 follows the paper.
+    """
+    t = _ShapeTracker("unet", resolution)
+    skips: list[tuple[int, int, int]] = []
+    channels = base_channels
+    # Encoder.
+    for level in range(4):
+        t.conv(channels, 3, 1, name=f"unet.enc{level + 1}.conv1")
+        t.conv(channels, 3, 1, name=f"unet.enc{level + 1}.conv2")
+        skips.append(t.snapshot())
+        t.pool(2, 2)
+        channels *= 2
+    # Bottleneck.
+    t.conv(channels, 3, 1, name="unet.bottleneck.conv1")
+    t.conv(channels, 3, 1, name="unet.bottleneck.conv2")
+    # Decoder.
+    for level in range(4):
+        skip_h, skip_w, skip_c = skips[-(level + 1)]
+        channels //= 2
+        # 2x2 transposed convolution modelled as a 2x2 conv at the upsampled size.
+        t.upsample(2)
+        t.set_resolution(skip_h, skip_w)
+        t.spec.layers.append(Conv2DSpec(
+            name=f"unet.dec{level + 1}.upconv", cin=channels * 2, cout=channels,
+            kernel=2, stride=1, out_h=skip_h, out_w=skip_w))
+        t.set_channels(channels + skip_c)
+        t.conv(channels, 3, 1, name=f"unet.dec{level + 1}.conv1")
+        t.conv(channels, 3, 1, name=f"unet.dec{level + 1}.conv2")
+    t.conv(num_classes, 1, 1, name="unet.head")
+    return t.build()
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+NETWORK_SPECS = {
+    "resnet34": resnet34_spec,
+    "resnet50": resnet50_spec,
+    "retinanet_r50_fpn": retinanet_resnet50_fpn_spec,
+    "ssd_vgg16": ssd_vgg16_spec,
+    "yolov3": yolov3_spec,
+    "unet": unet_spec,
+    "vgg16": vgg16_features_spec,
+}
+
+
+def get_network_spec(name: str, resolution: int | None = None) -> NetworkSpec:
+    """Build a network spec by name, optionally overriding the input resolution."""
+    if name not in NETWORK_SPECS:
+        raise KeyError(f"unknown network {name!r}; available: {sorted(NETWORK_SPECS)}")
+    builder = NETWORK_SPECS[name]
+    if resolution is None:
+        return builder()
+    return builder(resolution)

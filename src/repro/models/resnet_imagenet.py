@@ -1,0 +1,157 @@
+"""ImageNet-style ResNets: ResNet-34 (BasicBlock) and ResNet-50 (Bottleneck).
+
+These mirror the Torchvision architectures the paper benchmarks.  Full-size
+instances are used for the *shape* analyses (Fig. 1, Fig. 4, Table VII layer
+extraction); scaled-down instances (``width_multiplier`` < 1, small input
+resolution) are used where actual training is required, since ImageNet-scale
+training is out of scope for this CPU-only reproduction (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.layers import (BatchNorm2d, Conv2d, GlobalAvgPool2d, Identity, Linear,
+                         MaxPool2d, ReLU)
+from ..nn.module import Module, ModuleList, Sequential
+from ..nn.tensor import Tensor
+
+__all__ = ["BasicBlock", "Bottleneck", "ResNetImageNet", "resnet18", "resnet34",
+           "resnet50", "resnet34_slim"]
+
+
+class BasicBlock(Module):
+    expansion = 1
+
+    def __init__(self, in_channels: int, channels: int, stride: int = 1,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        out_channels = channels * self.expansion
+        self.conv1 = Conv2d(in_channels, channels, 3, stride=stride, padding=1,
+                            bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(channels)
+        self.conv2 = Conv2d(channels, channels, 3, stride=1, padding=1,
+                            bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(channels)
+        self.relu = ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                BatchNorm2d(out_channels))
+        else:
+            self.downsample = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = self.downsample(x)
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return F.relu(out + identity)
+
+
+class Bottleneck(Module):
+    expansion = 4
+
+    def __init__(self, in_channels: int, channels: int, stride: int = 1,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        out_channels = channels * self.expansion
+        self.conv1 = Conv2d(in_channels, channels, 1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(channels)
+        self.conv2 = Conv2d(channels, channels, 3, stride=stride, padding=1,
+                            bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(channels)
+        self.conv3 = Conv2d(channels, out_channels, 1, bias=False, rng=rng)
+        self.bn3 = BatchNorm2d(out_channels)
+        self.relu = ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                BatchNorm2d(out_channels))
+        else:
+            self.downsample = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = self.downsample(x)
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.relu(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        return F.relu(out + identity)
+
+
+class ResNetImageNet(Module):
+    """Configurable ImageNet ResNet."""
+
+    def __init__(self, block_type, layers: list[int], num_classes: int = 1000,
+                 width_multiplier: float = 1.0, in_channels: int = 3,
+                 small_input: bool = False, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+
+        def width(value: int) -> int:
+            return max(int(round(value * width_multiplier)), 4)
+
+        stem_width = width(64)
+        if small_input:
+            # 3x3 stem / no max-pool variant for low-resolution substitutes.
+            self.stem = Conv2d(in_channels, stem_width, 3, stride=1, padding=1,
+                               bias=False, rng=rng)
+            self.maxpool = Identity()
+        else:
+            self.stem = Conv2d(in_channels, stem_width, 7, stride=2, padding=3,
+                               bias=False, rng=rng)
+            self.maxpool = MaxPool2d(3, stride=2)
+        self.stem_bn = BatchNorm2d(stem_width)
+        self.relu = ReLU()
+
+        stage_widths = [width(64), width(128), width(256), width(512)]
+        strides = [1, 2, 2, 2]
+        in_ch = stem_width
+        self.stages = ModuleList()
+        for stage_idx, (channels, num_blocks, stride) in enumerate(
+                zip(stage_widths, layers, strides)):
+            blocks = ModuleList()
+            blocks.append(block_type(in_ch, channels, stride, rng))
+            in_ch = channels * block_type.expansion
+            for _ in range(num_blocks - 1):
+                blocks.append(block_type(in_ch, channels, 1, rng))
+            self.stages.append(blocks)
+
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(in_ch, num_classes, rng=rng)
+        self.num_classes = num_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu(self.stem_bn(self.stem(x)))
+        out = self.maxpool(out)
+        for stage in self.stages:
+            for block in stage:
+                out = block(out)
+        out = self.pool(out)
+        return self.classifier(out)
+
+
+def resnet18(num_classes: int = 1000, **kwargs) -> ResNetImageNet:
+    return ResNetImageNet(BasicBlock, [2, 2, 2, 2], num_classes, **kwargs)
+
+
+def resnet34(num_classes: int = 1000, **kwargs) -> ResNetImageNet:
+    """ResNet-34, the main network of the paper's ablation (Table II)."""
+    return ResNetImageNet(BasicBlock, [3, 4, 6, 3], num_classes, **kwargs)
+
+
+def resnet50(num_classes: int = 1000, **kwargs) -> ResNetImageNet:
+    """ResNet-50 (Table III, ImageNet section)."""
+    return ResNetImageNet(Bottleneck, [3, 4, 6, 3], num_classes, **kwargs)
+
+
+def resnet34_slim(num_classes: int = 16, width_multiplier: float = 0.125,
+                  seed: int = 0) -> ResNetImageNet:
+    """A slim ResNet-34 stand-in that trains in minutes on CPU.
+
+    Keeps the depth/stage structure of ResNet-34 (so the per-layer Winograd
+    tap statistics are representative) while shrinking width and the stem.
+    """
+    return ResNetImageNet(BasicBlock, [3, 4, 6, 3], num_classes=num_classes,
+                          width_multiplier=width_multiplier, small_input=True,
+                          seed=seed)

@@ -1,0 +1,70 @@
+"""Small CNNs for fast CPU-scale experiments and tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import (BatchNorm2d, Conv2d, Flatten, GlobalAvgPool2d, Linear,
+                         MaxPool2d, ReLU)
+from ..nn.module import Module, Sequential
+from ..nn.tensor import Tensor
+
+__all__ = ["TinyConvNet", "tiny_convnet", "MicroNet", "micro_net"]
+
+
+class TinyConvNet(Module):
+    """Three 3x3 convolution blocks + classifier.
+
+    All convolutions are 3x3 / stride-1 (pooling handles downsampling), so the
+    whole feature extractor maps onto the Winograd operator — the smallest
+    model on which the Table II ablation is still meaningful.
+    """
+
+    def __init__(self, num_classes: int = 10, channels: tuple[int, ...] = (16, 32, 32),
+                 in_channels: int = 3, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        c1, c2, c3 = channels
+        self.features = Sequential(
+            Conv2d(in_channels, c1, 3, padding=1, bias=False, rng=rng),
+            BatchNorm2d(c1), ReLU(), MaxPool2d(2),
+            Conv2d(c1, c2, 3, padding=1, bias=False, rng=rng),
+            BatchNorm2d(c2), ReLU(), MaxPool2d(2),
+            Conv2d(c2, c3, 3, padding=1, bias=False, rng=rng),
+            BatchNorm2d(c3), ReLU(),
+        )
+        self.head = Sequential(GlobalAvgPool2d(), Linear(c3, num_classes, rng=rng))
+        self.num_classes = num_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.features(x))
+
+
+def tiny_convnet(num_classes: int = 10, seed: int = 0) -> TinyConvNet:
+    return TinyConvNet(num_classes=num_classes, seed=seed)
+
+
+class MicroNet(Module):
+    """Two-layer CNN used by the fastest unit tests."""
+
+    def __init__(self, num_classes: int = 4, in_channels: int = 3, width: int = 8,
+                 seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.conv1 = Conv2d(in_channels, width, 3, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(width)
+        self.relu = ReLU()
+        self.conv2 = Conv2d(width, width, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(width)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(width, num_classes, rng=rng)
+        self.num_classes = num_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.relu(self.bn2(self.conv2(out)))
+        return self.fc(self.pool(out))
+
+
+def micro_net(num_classes: int = 4, seed: int = 0) -> MicroNet:
+    return MicroNet(num_classes=num_classes, seed=seed)

@@ -1,0 +1,84 @@
+"""VGG-nagadomi — the light VGG variant used by the paper on CIFAR-10.
+
+The paper (Section V-A1) takes the small VGG of the nagadomi kaggle-cifar10
+repository, as used by Liu et al. and Lance et al., and replaces all but the
+last dropout layers with batch normalisation.  The architecture is:
+
+    [conv3x3-64, conv3x3-64, maxpool] x1
+    [conv3x3-128, conv3x3-128, maxpool] x1
+    [conv3x3-256, conv3x3-256, conv3x3-256, conv3x3-256, maxpool] x1
+    flatten - fc1024 - dropout - fc1024 - fc10
+
+Every convolution is 3x3 / stride-1, which makes the whole network Winograd
+friendly — it is the best case for the F4 operator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import (BatchNorm2d, Conv2d, Dropout, Flatten, Linear,
+                         MaxPool2d, ReLU)
+from ..nn.module import Module, Sequential
+from ..nn.tensor import Tensor
+
+__all__ = ["VGGNagadomi", "vgg_nagadomi", "vgg_nagadomi_tiny"]
+
+
+class VGGNagadomi(Module):
+    """The light VGG of nagadomi with BN instead of most dropout layers."""
+
+    def __init__(self, num_classes: int = 10, width_multiplier: float = 1.0,
+                 in_channels: int = 3, input_size: int = 32, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+
+        def width(value: int) -> int:
+            return max(int(round(value * width_multiplier)), 4)
+
+        def conv_block(cin: int, cout: int) -> list[Module]:
+            return [Conv2d(cin, cout, 3, padding=1, bias=False, rng=rng),
+                    BatchNorm2d(cout), ReLU()]
+
+        w64, w128, w256 = width(64), width(128), width(256)
+        layers: list[Module] = []
+        layers += conv_block(in_channels, w64)
+        layers += conv_block(w64, w64)
+        layers.append(MaxPool2d(2))
+        layers += conv_block(w64, w128)
+        layers += conv_block(w128, w128)
+        layers.append(MaxPool2d(2))
+        layers += conv_block(w128, w256)
+        layers += conv_block(w256, w256)
+        layers += conv_block(w256, w256)
+        layers += conv_block(w256, w256)
+        layers.append(MaxPool2d(2))
+        self.features = Sequential(*layers)
+
+        spatial = input_size // 8
+        hidden = width(1024)
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(w256 * spatial * spatial, hidden, rng=rng),
+            ReLU(),
+            Dropout(0.5, rng=rng),
+            Linear(hidden, hidden, rng=rng),
+            ReLU(),
+            Linear(hidden, num_classes, rng=rng),
+        )
+        self.num_classes = num_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))
+
+
+def vgg_nagadomi(num_classes: int = 10, seed: int = 0) -> VGGNagadomi:
+    """Full-width VGG-nagadomi (Table III, CIFAR-10 section)."""
+    return VGGNagadomi(num_classes=num_classes, seed=seed)
+
+
+def vgg_nagadomi_tiny(num_classes: int = 10, input_size: int = 32,
+                      seed: int = 0) -> VGGNagadomi:
+    """A narrow variant for CPU-scale fine-tuning experiments."""
+    return VGGNagadomi(num_classes=num_classes, width_multiplier=0.125,
+                       input_size=input_size, seed=seed)

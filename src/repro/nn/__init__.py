@@ -1,0 +1,23 @@
+"""A compact numpy-based neural-network framework (autograd substrate).
+
+Public surface mirrors a small subset of PyTorch so that the model code and
+the quantization-aware training flow read naturally.
+"""
+
+from . import functional, init
+from .data import ArrayDataset, DataLoader, train_val_split
+from .layers import (AvgPool2d, BatchNorm2d, Conv2d, Dropout, Flatten,
+                     GlobalAvgPool2d, Identity, Linear, MaxPool2d, ReLU)
+from .module import Module, ModuleList, Parameter, Sequential
+from .optim import SGD, Adam, CosineAnnealingLR, Optimizer, StepLR
+from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor", "as_tensor", "no_grad", "is_grad_enabled",
+    "Module", "ModuleList", "Parameter", "Sequential",
+    "Conv2d", "Linear", "BatchNorm2d", "ReLU", "MaxPool2d", "AvgPool2d",
+    "GlobalAvgPool2d", "Flatten", "Dropout", "Identity",
+    "SGD", "Adam", "Optimizer", "StepLR", "CosineAnnealingLR",
+    "ArrayDataset", "DataLoader", "train_val_split",
+    "functional", "init",
+]

@@ -1,0 +1,81 @@
+"""Minimal dataset / dataloader abstractions for the training experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["ArrayDataset", "DataLoader", "train_val_split"]
+
+
+@dataclass
+class ArrayDataset:
+    """In-memory dataset of (images, labels) arrays.
+
+    ``images`` is ``(N, C, H, W)`` float and ``labels`` is ``(N,)`` int.
+    An optional ``transform`` callable is applied per batch (used for the
+    random-flip / crop augmentation described in Section V-A1).
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    transform: object | None = None
+
+    def __post_init__(self):
+        if len(self.images) != len(self.labels):
+            raise ValueError("images and labels must have the same length")
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, idx):
+        return self.images[idx], self.labels[idx]
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        return ArrayDataset(self.images[indices], self.labels[indices], self.transform)
+
+
+class DataLoader:
+    """Iterates over a dataset in shuffled mini-batches."""
+
+    def __init__(self, dataset: ArrayDataset, batch_size: int = 32, shuffle: bool = True,
+                 seed: int = 0, drop_last: bool = False):
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, n, self.batch_size):
+            idx = order[start:start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                break
+            images = self.dataset.images[idx]
+            labels = self.dataset.labels[idx]
+            if self.dataset.transform is not None:
+                images = self.dataset.transform(images, self._rng)
+            yield images, labels
+
+
+def train_val_split(dataset: ArrayDataset, val_fraction: float = 0.1,
+                    seed: int = 0) -> tuple[ArrayDataset, ArrayDataset]:
+    """Split a dataset into train / validation parts (paper uses 90/10)."""
+    n = len(dataset)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    n_val = int(round(n * val_fraction))
+    val_idx, train_idx = order[:n_val], order[n_val:]
+    return dataset.subset(train_idx), dataset.subset(val_idx)

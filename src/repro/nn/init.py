@@ -1,0 +1,66 @@
+"""Weight initialisation helpers (Kaiming / Xavier / constant)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["kaiming_normal", "kaiming_uniform", "xavier_uniform", "zeros", "ones",
+           "default_rng", "set_seed"]
+
+_GLOBAL_SEED = 0
+_RNG = np.random.default_rng(_GLOBAL_SEED)
+
+
+def set_seed(seed: int) -> None:
+    """Reset the module-level RNG used for weight initialisation."""
+    global _RNG, _GLOBAL_SEED
+    _GLOBAL_SEED = seed
+    _RNG = np.random.default_rng(seed)
+
+
+def default_rng() -> np.random.Generator:
+    return _RNG
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 2:  # Linear: (out, in)
+        fan_out, fan_in = shape
+    elif len(shape) == 4:  # Conv: (out, in, kh, kw)
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        fan_in = fan_out = int(np.prod(shape))
+    return fan_in, fan_out
+
+
+def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    """He-normal initialisation suitable for ReLU networks."""
+    rng = rng or _RNG
+    fan_in, _ = _fan_in_out(shape)
+    std = math.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    rng = rng or _RNG
+    fan_in, _ = _fan_in_out(shape)
+    bound = math.sqrt(6.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    rng = rng or _RNG
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = math.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float64)

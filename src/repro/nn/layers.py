@@ -1,0 +1,169 @@
+"""Standard neural-network layers used by the reference CNNs.
+
+These layers are deliberately close to their PyTorch counterparts so that the
+model definitions in :mod:`repro.models` read like the original Torchvision
+sources the paper starts from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = [
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "Identity",
+]
+
+
+class Conv2d(Module):
+    """2-D convolution implemented with the im2col lowering.
+
+    This is the "standard algorithm" of the paper — the baseline that the
+    Winograd layers replace for 3×3 / stride-1 cases.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_normal(shape, rng))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def extra_repr(self) -> str:  # pragma: no cover - debugging aid
+        return (f"{self.in_channels}, {self.out_channels}, k={self.kernel_size}, "
+                f"s={self.stride}, p={self.padding}")
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x Wᵀ + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over the channel dimension of NCHW tensors."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init.ones((num_features,)))
+        self.bias = Parameter(init.zeros((num_features,)))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        axes = (0, 2, 3)
+        if self.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            var = x.var(axis=axes, keepdims=True)
+            with np.errstate(all="ignore"):
+                new_mean = ((1 - self.momentum) * self.running_mean
+                            + self.momentum * mean.data.reshape(-1))
+                new_var = ((1 - self.momentum) * self.running_var
+                           + self.momentum * var.data.reshape(-1))
+            self.set_buffer("running_mean", new_mean)
+            self.set_buffer("running_var", new_var)
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1, 1, 1))
+            var = Tensor(self.running_var.reshape(1, -1, 1, 1))
+        x_hat = (x - mean) / (var + self.eps).sqrt()
+        gamma = self.weight.reshape(1, self.num_features, 1, 1)
+        beta = self.bias.reshape(1, self.num_features, 1, 1)
+        return x_hat * gamma + beta
+
+    def fold_scale_shift(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return the affine (scale, shift) equivalent of this BN in eval mode.
+
+        Used by analyses that need BN-folded convolution weights (the paper's
+        weight-distribution plots are taken on inference graphs).
+        """
+        scale = self.weight.data / np.sqrt(self.running_var + self.eps)
+        shift = self.bias.data - self.running_mean * scale
+        return scale, shift
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int = 2, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int = 2, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool2d(x)
+
+
+class Flatten(Module):
+    def __init__(self, start_dim: int = 1):
+        super().__init__()
+        self.start_dim = start_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(self.start_dim)
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.p = p
+        self._rng = rng or np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self._rng)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x

@@ -1,0 +1,563 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module is the computational substrate for the whole reproduction: the
+Winograd-aware quantized training flow of the paper (Section III) needs
+gradients to propagate *through* the Winograd domain, through fake-quantization
+nodes with straight-through estimators, and through learned power-of-two scale
+factors.  Rather than depending on PyTorch (not available in this
+environment), we implement a compact but complete autograd engine.
+
+The design follows the classic tape-based approach: every :class:`Tensor`
+records the operation that produced it and a backward closure.  Calling
+:meth:`Tensor.backward` topologically sorts the graph and accumulates
+gradients into the leaves.
+
+Only float64/float32 arrays are supported for differentiable tensors; integer
+arrays may be wrapped with ``requires_grad=False`` (useful for index tensors
+and quantized payloads).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
+
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables gradient tracking.
+
+    Mirrors ``torch.no_grad``.  Used heavily in evaluation loops and in the
+    calibration passes of the quantization observers where gradients are not
+    needed and would only waste memory.
+    """
+
+    def __enter__(self):
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+        return False
+
+
+def is_grad_enabled() -> bool:
+    """Return whether gradient recording is currently enabled."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` to undo numpy broadcasting.
+
+    Broadcasting during the forward pass implicitly replicates data; the
+    corresponding adjoint operation is a sum over the broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def as_tensor(value, requires_grad: bool = False) -> "Tensor":
+    """Coerce ``value`` (Tensor, ndarray, or scalar) into a :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+class Tensor:
+    """A numpy-backed tensor with reverse-mode autodiff support."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str | None = None):
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if arr.dtype == np.float16:
+            arr = arr.astype(np.float32)
+        elif arr.dtype not in (np.float32, np.float64) and requires_grad:
+            arr = arr.astype(np.float64)
+        elif arr.dtype == np.int64 or arr.dtype == np.int32 or arr.dtype == bool:
+            pass
+        elif arr.dtype not in (np.float32, np.float64):
+            arr = arr.astype(np.float64)
+        self.data = arr
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: np.ndarray | None = None
+        self._backward = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying ndarray (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def clone(self) -> "Tensor":
+        out = self._make(self.data.copy(), (self,))
+        if out.requires_grad:
+            def _bw(grad):
+                return (grad,)
+            out._backward = _bw
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    # ------------------------------------------------------------------ #
+    # Graph construction
+    # ------------------------------------------------------------------ #
+    def _make(self, data: np.ndarray, parents: tuple["Tensor", ...]) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = parents
+        return out
+
+    @staticmethod
+    def from_op(data: np.ndarray, parents: tuple["Tensor", ...], backward) -> "Tensor":
+        """Create a tensor from a custom op.
+
+        ``backward`` receives the upstream gradient and must return a tuple of
+        gradients aligned with ``parents`` (``None`` entries are allowed for
+        non-differentiable parents).
+        """
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Backward pass
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Upstream gradient.  Defaults to ``1.0`` which requires the tensor
+            to be a scalar (the usual loss case).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data, dtype=np.float64)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+
+        # Topological ordering of the graph (iterative DFS to avoid recursion
+        # limits on deep networks).
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited and parent.requires_grad:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._parents == () or node._backward is None:
+                # Leaf: accumulate.
+                if node.grad is None:
+                    node.grad = node_grad.astype(node.data.dtype, copy=True)
+                else:
+                    node.grad = node.grad + node_grad
+                continue
+            parent_grads = node._backward(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                pgrad = np.asarray(pgrad, dtype=np.float64)
+                if id(parent) in grads:
+                    grads[id(parent)] = grads[id(parent)] + pgrad
+                else:
+                    grads[id(parent)] = pgrad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out = self._make(self.data + other.data, (self, other))
+        if out.requires_grad:
+            a_shape, b_shape = self.shape, other.shape
+
+            def _bw(grad):
+                return (_unbroadcast(grad, a_shape), _unbroadcast(grad, b_shape))
+
+            out._backward = _bw
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out = self._make(-self.data, (self,))
+        if out.requires_grad:
+            out._backward = lambda grad: (-grad,)
+        return out
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out = self._make(self.data * other.data, (self, other))
+        if out.requires_grad:
+            a, b = self, other
+
+            def _bw(grad):
+                return (
+                    _unbroadcast(grad * b.data, a.shape),
+                    _unbroadcast(grad * a.data, b.shape),
+                )
+
+            out._backward = _bw
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out = self._make(self.data / other.data, (self, other))
+        if out.requires_grad:
+            a, b = self, other
+
+            def _bw(grad):
+                return (
+                    _unbroadcast(grad / b.data, a.shape),
+                    _unbroadcast(-grad * a.data / (b.data ** 2), b.shape),
+                )
+
+            out._backward = _bw
+        return out
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        out = self._make(self.data ** exponent, (self,))
+        if out.requires_grad:
+            a = self
+
+            def _bw(grad):
+                return (grad * exponent * (a.data ** (exponent - 1)),)
+
+            out._backward = _bw
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Matrix multiplication
+    # ------------------------------------------------------------------ #
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out = self._make(self.data @ other.data, (self, other))
+        if out.requires_grad:
+            a, b = self, other
+
+            def _bw(grad):
+                a_data, b_data = a.data, b.data
+                if a_data.ndim == 1 and b_data.ndim == 1:
+                    ga = grad * b_data
+                    gb = grad * a_data
+                elif a_data.ndim == 1:
+                    ga = grad @ np.swapaxes(b_data, -1, -2)
+                    gb = np.outer(a_data, grad) if b_data.ndim == 2 else None
+                    if gb is None:
+                        gb = np.einsum("i,...j->...ij", a_data, grad)
+                elif b_data.ndim == 1:
+                    ga = np.einsum("...i,j->...ij", grad, b_data)
+                    gb = np.einsum("...ij,...i->j", a_data, grad)
+                else:
+                    ga = grad @ np.swapaxes(b_data, -1, -2)
+                    gb = np.swapaxes(a_data, -1, -2) @ grad
+                    ga = _unbroadcast(ga, a_data.shape)
+                    gb = _unbroadcast(gb, b_data.shape)
+                return (ga, gb)
+
+            out._backward = _bw
+        return out
+
+    def matmul(self, other) -> "Tensor":
+        return self @ other
+
+    # ------------------------------------------------------------------ #
+    # Unary math
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+        out = self._make(data, (self,))
+        if out.requires_grad:
+            out._backward = lambda grad: (grad * data,)
+        return out
+
+    def log(self) -> "Tensor":
+        out = self._make(np.log(self.data), (self,))
+        if out.requires_grad:
+            a = self
+            out._backward = lambda grad: (grad / a.data,)
+        return out
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+        out = self._make(data, (self,))
+        if out.requires_grad:
+            out._backward = lambda grad: (grad * 0.5 / np.maximum(data, 1e-30),)
+        return out
+
+    def abs(self) -> "Tensor":
+        out = self._make(np.abs(self.data), (self,))
+        if out.requires_grad:
+            a = self
+            out._backward = lambda grad: (grad * np.sign(a.data),)
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out = self._make(self.data * mask, (self,))
+        if out.requires_grad:
+            out._backward = lambda grad: (grad * mask,)
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+        out = self._make(data, (self,))
+        if out.requires_grad:
+            out._backward = lambda grad: (grad * data * (1.0 - data),)
+        return out
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+        out = self._make(data, (self,))
+        if out.requires_grad:
+            out._backward = lambda grad: (grad * (1.0 - data * data),)
+        return out
+
+    def clamp(self, low: float | None = None, high: float | None = None) -> "Tensor":
+        data = np.clip(self.data, low, high)
+        out = self._make(data, (self,))
+        if out.requires_grad:
+            a = self
+            lo = -np.inf if low is None else low
+            hi = np.inf if high is None else high
+
+            def _bw(grad):
+                mask = (a.data >= lo) & (a.data <= hi)
+                return (grad * mask,)
+
+            out._backward = _bw
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+        out = self._make(np.asarray(data), (self,))
+        if out.requires_grad:
+            a_shape = self.shape
+
+            def _bw(grad):
+                g = np.asarray(grad)
+                if axis is not None and not keepdims:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    for ax in sorted(a if a >= 0 else a + len(a_shape) for a in axes):
+                        g = np.expand_dims(g, ax)
+                return (np.broadcast_to(g, a_shape).copy(),)
+
+            out._backward = _bw
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) / float(count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        out = (centered * centered).mean(axis=axis, keepdims=keepdims)
+        return out
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+        out = self._make(np.asarray(data), (self,))
+        if out.requires_grad:
+            a = self
+
+            def _bw(grad):
+                full = a.data.max(axis=axis, keepdims=True)
+                mask = (a.data == full).astype(np.float64)
+                mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+                g = np.asarray(grad)
+                if axis is not None and not keepdims:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    for ax in sorted(x if x >= 0 else x + a.data.ndim for x in axes):
+                        g = np.expand_dims(g, ax)
+                return (mask * g,)
+
+            out._backward = _bw
+        return out
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = self._make(self.data.reshape(shape), (self,))
+        if out.requires_grad:
+            a_shape = self.shape
+            out._backward = lambda grad: (grad.reshape(a_shape),)
+        return out
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        out = self._make(self.data.transpose(axes), (self,))
+        if out.requires_grad:
+            inverse = tuple(np.argsort(axes))
+            out._backward = lambda grad: (grad.transpose(inverse),)
+        return out
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(tuple(axes))
+
+    def flatten(self, start_dim: int = 0) -> "Tensor":
+        shape = self.shape[:start_dim] + (-1,)
+        return self.reshape(shape)
+
+    def __getitem__(self, index) -> "Tensor":
+        out = self._make(self.data[index], (self,))
+        if out.requires_grad:
+            a_shape = self.shape
+            a_dtype = self.data.dtype
+
+            def _bw(grad):
+                full = np.zeros(a_shape, dtype=np.float64 if a_dtype != np.float32 else np.float64)
+                np.add.at(full, index, grad)
+                return (full,)
+
+            out._backward = _bw
+        return out
+
+    def pad(self, pad_width) -> "Tensor":
+        out = self._make(np.pad(self.data, pad_width), (self,))
+        if out.requires_grad:
+            slices = tuple(
+                slice(before, before + dim)
+                for (before, _after), dim in zip(pad_width, self.shape)
+            )
+            out._backward = lambda grad: (grad[slices],)
+        return out
+
+    @staticmethod
+    def stack(tensors: list["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [as_tensor(t) for t in tensors]
+        data = np.stack([t.data for t in tensors], axis=axis)
+        requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(tensors)
+
+            def _bw(grad):
+                pieces = np.split(grad, len(tensors), axis=axis)
+                return tuple(np.squeeze(p, axis=axis) for p in pieces)
+
+            out._backward = _bw
+        return out
+
+    @staticmethod
+    def concatenate(tensors: list["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [as_tensor(t) for t in tensors]
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(tensors)
+            sizes = [t.shape[axis] for t in tensors]
+            splits = np.cumsum(sizes)[:-1]
+
+            def _bw(grad):
+                return tuple(np.split(grad, splits, axis=axis))
+
+            out._backward = _bw
+        return out

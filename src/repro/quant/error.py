@@ -1,0 +1,129 @@
+"""Quantization-error analysis (Fig. 4 of the paper).
+
+Compares the relative quantization error of the weights under different
+granularities, both in the spatial domain and in the Winograd domain.  In the
+Winograd-domain case the quantized weights are mapped back to the spatial
+domain with the Moore–Penrose pseudo-inverse of ``G`` (computed through SVD,
+as in the paper) so that errors are comparable across strategies.
+
+The scale-factor search follows the paper's formulation::
+
+    γ̂ = argmin_γ Σ_f |Quant_{µ,s}(f) − f| / |f| ,   s = γ σ / 2^{n-1}
+
+with ``µ`` and ``σ`` computed per layer, per channel, or per tap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..winograd.transforms import WinogradTransform, transform_weight
+from .observer import Granularity, reduction_axes
+
+__all__ = ["QuantErrorResult", "quantize_mu_sigma", "optimal_gamma",
+           "relative_error", "spatial_quant_error", "winograd_quant_error",
+           "error_histogram", "mean_log2_error"]
+
+
+@dataclass
+class QuantErrorResult:
+    """Relative quantization errors of one strategy on one weight set."""
+
+    strategy: str
+    domain: str
+    errors: np.ndarray  # per-element relative errors (flattened)
+    gamma: float
+
+    @property
+    def mean_log2_error(self) -> float:
+        return mean_log2_error(self.errors)
+
+    @property
+    def mean_error(self) -> float:
+        return float(np.mean(self.errors))
+
+
+def quantize_mu_sigma(values: np.ndarray, mu: np.ndarray, scale: np.ndarray,
+                      n_bits: int = 8) -> np.ndarray:
+    """``Quant_{µ,s}(x) = µ + s ⌊(x − µ)/s⌉_intn`` (paper, Section V-A4)."""
+    qmax = (1 << (n_bits - 1)) - 1
+    qmin = -(1 << (n_bits - 1))
+    q = np.clip(np.rint((values - mu) / scale), qmin, qmax)
+    return mu + scale * q
+
+
+def relative_error(original: np.ndarray, quantized: np.ndarray,
+                   eps: float = 1e-12) -> np.ndarray:
+    """Per-element relative error ``|q - x| / |x|`` (guarding small values)."""
+    denom = np.maximum(np.abs(original), eps)
+    return np.abs(quantized - original) / denom
+
+
+def optimal_gamma(values: np.ndarray, granularity: Granularity | str,
+                  n_bits: int = 8, channel_axis: int = 0,
+                  gammas: np.ndarray | None = None) -> tuple[float, np.ndarray]:
+    """Search the γ that minimises the mean relative error.
+
+    Returns ``(best_gamma, quantized_values)``.  µ and σ are computed per
+    group according to ``granularity``.
+    """
+    granularity = Granularity.parse(granularity)
+    axes = reduction_axes(granularity, values.ndim, channel_axis)
+    mu = values.mean(axis=axes, keepdims=True) if axes else values
+    sigma = values.std(axis=axes, keepdims=True) if axes else np.abs(values)
+    sigma = np.maximum(sigma, 1e-12)
+    if gammas is None:
+        gammas = np.linspace(2.0, 16.0, 29)
+
+    qmax = float((1 << (n_bits - 1)) - 1)
+    best_gamma = float(gammas[0])
+    best_error = np.inf
+    best_q = None
+    for gamma in gammas:
+        scale = gamma * sigma / qmax
+        quantized = quantize_mu_sigma(values, mu, scale, n_bits)
+        err = float(np.mean(relative_error(values, quantized)))
+        if err < best_error:
+            best_error = err
+            best_gamma = float(gamma)
+            best_q = quantized
+    return best_gamma, best_q
+
+
+def spatial_quant_error(weights: np.ndarray, granularity: Granularity | str,
+                        n_bits: int = 8) -> QuantErrorResult:
+    """Fig. 4a: quantize the spatial-domain weights directly."""
+    gamma, quantized = optimal_gamma(weights, granularity, n_bits)
+    errors = relative_error(weights, quantized).reshape(-1)
+    return QuantErrorResult(strategy=str(Granularity.parse(granularity).value),
+                            domain="spatial", errors=errors, gamma=gamma)
+
+
+def winograd_quant_error(weights: np.ndarray, transform: WinogradTransform,
+                         granularity: Granularity | str,
+                         n_bits: int = 8) -> QuantErrorResult:
+    """Fig. 4b: quantize ``G f Gᵀ`` and map back with the pseudo-inverse of G."""
+    wino = transform_weight(weights, transform)
+    gamma, quantized_wino = optimal_gamma(wino, granularity, n_bits)
+    g_pinv = np.linalg.pinv(transform.G)
+    back = g_pinv @ quantized_wino @ g_pinv.T
+    errors = relative_error(weights, back).reshape(-1)
+    return QuantErrorResult(strategy=str(Granularity.parse(granularity).value),
+                            domain="winograd", errors=errors, gamma=gamma)
+
+
+def mean_log2_error(errors: np.ndarray, eps: float = 1e-20) -> float:
+    """Mean of the relative error expressed as log2 (paper quotes e.g. 2^-6.01)."""
+    return float(np.log2(np.maximum(np.mean(errors), eps)))
+
+
+def error_histogram(errors: np.ndarray, bins: int = 60,
+                    value_range: tuple[float, float] = (-15.0, 5.0)
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of log2 relative errors (the x-axis of Fig. 4)."""
+    log_errors = np.log2(np.maximum(errors, 1e-20))
+    hist, edges = np.histogram(log_errors, bins=bins, range=value_range, density=True)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    return centers, hist

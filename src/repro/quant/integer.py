@@ -1,0 +1,151 @@
+"""Integer-only inference simulation of the tap-wise quantized Winograd scheme.
+
+The training-time layers use *fake quantization* (quantize–dequantize in the
+real domain).  This module verifies that the same computation can be carried
+out with integer arithmetic only, which is the whole point of the paper:
+
+    AT [ S_BG ⊙ Σ_Cin ⌊BT x̂ B ⊘ S_B⌉_intb ⊙ ⌊G f̂ GT ⊘ S_G⌉_intb ] A
+
+The element-wise multiply–accumulate over input channels happens on int
+values (int8/int10 operands, int32 accumulation — modelled with int64 for
+headroom), and the only real-valued step is the single rescale with
+``S_BG = S_B ⊙ S_G`` before the back-transformation, which collapses to a
+shift when the scales are powers of two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..winograd.tiling import assemble_output_tiles, extract_tiles, pad_for_tiling
+from ..winograd.transforms import WinogradTransform
+from .quantizer import compute_scale, quant_range
+
+__all__ = ["TapwiseScales", "calibrate_tapwise_scales", "integer_winograd_conv2d",
+           "accumulator_bits_required"]
+
+
+@dataclass
+class TapwiseScales:
+    """All scale factors of one tap-wise quantized Winograd layer.
+
+    Attributes
+    ----------
+    act_spatial:
+        Scalar scale of the spatial-domain activations (int8).
+    weight_spatial:
+        Scalar scale of the spatial-domain weights (int8).
+    input_wino:
+        ``(alpha, alpha)`` tap-wise scales ``S_B`` of the input transform.
+    weight_wino:
+        ``(alpha, alpha)`` tap-wise scales ``S_G`` of the weight transform.
+    """
+
+    act_spatial: float
+    weight_spatial: float
+    input_wino: np.ndarray
+    weight_wino: np.ndarray
+
+    @property
+    def output_wino(self) -> np.ndarray:
+        """``S_BG = S_B ⊙ S_G`` — the rescale applied before the back-transform."""
+        return self.input_wino * self.weight_wino
+
+
+def calibrate_tapwise_scales(x: np.ndarray, weight: np.ndarray,
+                             transform: WinogradTransform,
+                             spatial_bits: int = 8, wino_bits: int = 8,
+                             power_of_two: bool = False,
+                             padding: int = 1) -> TapwiseScales:
+    """Derive tap-wise scales from one batch of data (max calibration, Eq. 2)."""
+    act_scale = float(compute_scale(np.abs(x).max(), spatial_bits))
+    weight_scale = float(compute_scale(np.abs(weight).max(), spatial_bits))
+
+    x_hat = np.clip(np.rint(x / act_scale), *quant_range(spatial_bits)) * act_scale
+    w_hat = np.clip(np.rint(weight / weight_scale), *quant_range(spatial_bits)) * weight_scale
+
+    padded, _, _ = pad_for_tiling(x_hat, transform.m, transform.r, padding)
+    tiles = extract_tiles(padded, transform.m, transform.r)
+    tiles_w = transform.BT @ tiles @ transform.BT.T
+    weight_w = transform.G @ w_hat @ transform.G.T
+
+    input_max = np.abs(tiles_w).max(axis=(0, 1, 2, 3))
+    weight_max = np.abs(weight_w).max(axis=(0, 1))
+    input_scale = compute_scale(input_max, wino_bits)
+    weight_scale_wino = compute_scale(weight_max, wino_bits)
+    if power_of_two:
+        input_scale = np.power(2.0, np.ceil(np.log2(input_scale)))
+        weight_scale_wino = np.power(2.0, np.ceil(np.log2(weight_scale_wino)))
+    return TapwiseScales(act_scale, weight_scale, input_scale, weight_scale_wino)
+
+
+def integer_winograd_conv2d(x: np.ndarray, weight: np.ndarray,
+                            transform: WinogradTransform,
+                            scales: TapwiseScales,
+                            bias: np.ndarray | None = None,
+                            spatial_bits: int = 8, wino_bits: int = 8,
+                            padding: int = 1,
+                            return_stats: bool = False):
+    """Run the tap-wise quantized Winograd convolution with integer arithmetic.
+
+    Returns the floating-point output (after the final de-quantization) and,
+    optionally, statistics about the integer intermediates (used to check the
+    accumulator bit widths the hardware needs).
+    """
+    m, r = transform.m, transform.r
+    n = x.shape[0]
+    cout = weight.shape[0]
+    qmin_s, qmax_s = quant_range(spatial_bits)
+    qmin_w, qmax_w = quant_range(wino_bits)
+
+    # Spatial-domain quantization (Eq. 2) — these are the int8 tensors that
+    # live in DDR / L1 on the accelerator.
+    x_int = np.clip(np.rint(x / scales.act_spatial), qmin_s, qmax_s).astype(np.int64)
+    w_int = np.clip(np.rint(weight / scales.weight_spatial), qmin_s, qmax_s).astype(np.int64)
+
+    # Input transform: BT x B computed exactly on integers (BT is integer for
+    # F2/F4), then requantized tap-wise to `wino_bits`.
+    padded, out_h, out_w = pad_for_tiling(x_int.astype(np.float64), m, r, padding)
+    tiles = extract_tiles(padded, m, r)
+    bt_int = np.rint(transform.BT).astype(np.int64)
+    tiles_w_exact = (bt_int @ tiles.astype(np.int64) @ bt_int.T)
+    # Requantization: value_real = tiles_w_exact * act_spatial; divide by S_B.
+    requant_ratio = scales.act_spatial / scales.input_wino
+    tiles_w_q = np.clip(np.rint(tiles_w_exact * requant_ratio), qmin_w, qmax_w).astype(np.int64)
+
+    # Weight transform: G f GT evaluated on the dequantized int8 weights, then
+    # requantized tap-wise (this is what the WT_XFORM engine produces).
+    w_hat = w_int.astype(np.float64) * scales.weight_spatial
+    weight_w_real = transform.G @ w_hat @ transform.G.T
+    weight_w_q = np.clip(np.rint(weight_w_real / scales.weight_wino), qmin_w, qmax_w
+                         ).astype(np.int64)
+
+    # Tap-wise batched MatMul with integer accumulation (the Cube Unit).
+    acc = np.einsum("ncijab,ocab->noijab", tiles_w_q, weight_w_q, optimize=True)
+
+    # Single rescale with S_BG, then the output back-transformation.
+    prod_real = acc.astype(np.float64) * scales.output_wino
+    out_tiles = transform.AT @ prod_real @ transform.AT.T
+    out = assemble_output_tiles(out_tiles, out_h, out_w)
+    if bias is not None:
+        out = out + bias.reshape(1, cout, 1, 1)
+
+    if not return_stats:
+        return out
+    stats = {
+        "input_tile_int_max": int(np.abs(tiles_w_exact).max()),
+        "accumulator_int_max": int(np.abs(acc).max()),
+        "accumulator_bits": accumulator_bits_required(int(np.abs(acc).max())),
+        "input_utilisation": float(np.abs(tiles_w_q).max() / max(qmax_w, 1)),
+        "weight_utilisation": float(np.abs(weight_w_q).max() / max(qmax_w, 1)),
+    }
+    return out, stats
+
+
+def accumulator_bits_required(max_abs_value: int) -> int:
+    """Signed bit width needed to hold ``max_abs_value`` without overflow."""
+    if max_abs_value <= 0:
+        return 1
+    return int(np.ceil(np.log2(max_abs_value + 1))) + 1

@@ -1,0 +1,116 @@
+"""Power-of-two scale factors and their learned (∇ log2 t) variant.
+
+Section III-B of the paper restricts the tap-wise scaling factors to powers of
+two so that all re-quantization and de-quantization steps inside the Winograd
+domain become plain shifts in hardware.  Three mechanisms are provided:
+
+1. **Straight-forward rounding** — the calibrated scale is rounded up to the
+   next power of two: ``s̃ = 2^⌈log2 s⌉``.
+2. **Learned power-of-two scales** — the scale is parameterised as
+   ``s = 2^⌈log2 t⌉`` and ``log2 t`` is trained with the straight-through
+   estimator; the gradient follows Eq. (3) of the paper.
+3. **Shift extraction** — :func:`scale_to_shift` recovers the integer shift
+   amounts that the hardware requantization stages would use, and is what the
+   accelerator model consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Parameter
+from ..nn.tensor import Tensor, as_tensor
+
+__all__ = [
+    "round_scale_to_power_of_two",
+    "pow2_gradient_scale",
+    "scale_to_shift",
+    "shift_to_scale",
+    "learned_pow2_fake_quantize",
+]
+
+
+def round_scale_to_power_of_two(scale: np.ndarray) -> np.ndarray:
+    """Round scale factors up to the next power of two: ``2^⌈log2 s⌉``."""
+    scale = np.maximum(np.asarray(scale, dtype=np.float64), 1e-30)
+    return np.power(2.0, np.ceil(np.log2(scale)))
+
+
+def pow2_gradient_scale(log2_t: np.ndarray) -> np.ndarray:
+    """Effective scale ``2^⌈log2 t⌉`` given the learned parameter ``log2 t``."""
+    return np.power(2.0, np.ceil(np.asarray(log2_t, dtype=np.float64)))
+
+
+def scale_to_shift(scale: np.ndarray) -> np.ndarray:
+    """Integer shift amounts implementing a power-of-two scale.
+
+    ``shift > 0`` means a right shift by that many bits during quantization
+    (dividing by ``2^shift``); raises if the scale is not a power of two.
+    """
+    scale = np.asarray(scale, dtype=np.float64)
+    shifts = np.log2(scale)
+    rounded = np.rint(shifts)
+    if not np.allclose(shifts, rounded, atol=1e-9):
+        raise ValueError("scale factors are not powers of two")
+    return rounded.astype(np.int64)
+
+
+def shift_to_scale(shift: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`scale_to_shift`."""
+    return np.power(2.0, np.asarray(shift, dtype=np.float64))
+
+
+def learned_pow2_fake_quantize(x: Tensor, log2_t: Parameter, n_bits: int,
+                               signed: bool = True) -> Tensor:
+    """Fake quantization with a learned power-of-two scale.
+
+    Forward::
+
+        s    = 2^⌈log2 t⌉
+        q(x) = s · clamp(⌊x / s⌉, qmin, qmax)
+
+    Backward (paper Eq. (3), straight-through estimators for both the rounding
+    and the ceiling)::
+
+        ∂q/∂x        = 1                     inside the clipping range
+                     = 0                     outside
+        ∂q/∂log2(t)  = s · ln(2) · clamp(⌊x/s⌉ − x/s, qmin, qmax)    inside
+                     = s · ln(2) · (qmin or qmax)                    outside
+
+    Gradients w.r.t. ``log2 t`` are reduced (summed) over the broadcast axes so
+    they match the parameter's per-tap / per-channel shape.
+    """
+    x = as_tensor(x)
+    if signed:
+        qmin, qmax = -(1 << (n_bits - 1)), (1 << (n_bits - 1)) - 1
+    else:
+        qmin, qmax = 0, (1 << n_bits) - 1
+
+    scale = pow2_gradient_scale(log2_t.data)
+    ratio = x.data / scale
+    rounded = np.rint(ratio)
+    clipped = np.clip(rounded, qmin, qmax)
+    out = clipped * scale
+    inside = (ratio >= qmin) & (ratio <= qmax)
+
+    param_shape = log2_t.shape
+
+    def _backward(grad: np.ndarray):
+        # Gradient w.r.t. the data: clipped straight-through.
+        dx = grad * inside
+        # Gradient w.r.t. log2(t), Eq. (3): inside the range the derivative is
+        # the (signed) rounding residual; outside it is the saturation level.
+        residual = np.where(inside, rounded - ratio, clipped)
+        dscale_log = scale * np.log(2.0) * residual
+        dlog2 = grad * dscale_log
+        # Reduce over broadcast axes down to the parameter shape.
+        extra = dlog2.ndim - len(param_shape)
+        if extra > 0:
+            dlog2 = dlog2.sum(axis=tuple(range(extra)))
+        sum_axes = tuple(ax for ax, dim in enumerate(param_shape)
+                         if dim == 1 and dlog2.shape[ax] != 1)
+        if sum_axes:
+            dlog2 = dlog2.sum(axis=sum_axes, keepdims=True)
+        return (dx, dlog2.reshape(param_shape))
+
+    return Tensor.from_op(out, (x, log2_t), _backward)

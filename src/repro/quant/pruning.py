@@ -1,0 +1,108 @@
+"""Winograd-domain weight pruning (the paper's stated future-work direction).
+
+Section VI notes that Liu et al. / Li et al. prune weights *in the Winograd
+domain* (after ``G f Gᵀ``) and that "combining pruning with tap-wise
+quantization and assessing its benefit on a hardware accelerator represents an
+interesting future work direction".  This module provides that combination at
+the algorithm level:
+
+* magnitude pruning of the Winograd-domain weights, either globally or per
+  tap (so every tap keeps the same density — friendlier to a tap-wise
+  quantized datapath, whose scales otherwise drift when a tap is emptied),
+* sparsity statistics per tap,
+* an estimate of the Cube-Unit MAC reduction the sparsity would enable on an
+  accelerator with zero-skipping support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..winograd.transforms import WinogradTransform, transform_weight, winograd_f4
+
+__all__ = ["prune_winograd_weights", "WinogradSparsityStats", "sparsity_statistics",
+           "effective_mac_reduction"]
+
+
+def prune_winograd_weights(weights: np.ndarray, sparsity: float,
+                           transform: WinogradTransform | None = None,
+                           per_tap: bool = True) -> np.ndarray:
+    """Magnitude-prune weights in the Winograd domain.
+
+    Parameters
+    ----------
+    weights:
+        Spatial-domain kernels ``(Cout, Cin, r, r)``.
+    sparsity:
+        Fraction of Winograd-domain coefficients to zero out (0 <= s < 1).
+    per_tap:
+        Apply the threshold per tap (keeping the density uniform across taps)
+        instead of globally.
+
+    Returns
+    -------
+    The pruned Winograd-domain weights, shape ``(Cout, Cin, alpha, alpha)``.
+    The caller feeds them directly to the tap-wise quantizer / element-wise
+    multiplication; they are *not* mapped back to the spatial domain (doing so
+    would destroy the sparsity, as the paper's related-work discussion notes).
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError("sparsity must be in [0, 1)")
+    transform = transform or winograd_f4()
+    wino = transform_weight(weights, transform)
+    if sparsity == 0.0:
+        return wino
+    magnitude = np.abs(wino)
+    if per_tap:
+        thresholds = np.quantile(magnitude, sparsity, axis=(0, 1), keepdims=True)
+    else:
+        thresholds = np.quantile(magnitude, sparsity)
+    mask = magnitude > thresholds
+    return wino * mask
+
+
+@dataclass
+class WinogradSparsityStats:
+    """Sparsity summary of a pruned Winograd-domain weight tensor."""
+
+    overall_sparsity: float
+    per_tap_sparsity: np.ndarray    # (alpha, alpha)
+    dense_taps: int                 # taps with < 50% zeros
+    empty_taps: int                 # taps that are entirely zero
+
+    @property
+    def tap_sparsity_spread(self) -> float:
+        return float(self.per_tap_sparsity.max() - self.per_tap_sparsity.min())
+
+
+def sparsity_statistics(wino_weights: np.ndarray) -> WinogradSparsityStats:
+    """Per-tap and overall sparsity of Winograd-domain weights."""
+    zero_mask = (wino_weights == 0.0)
+    per_tap = zero_mask.mean(axis=(0, 1))
+    return WinogradSparsityStats(
+        overall_sparsity=float(zero_mask.mean()),
+        per_tap_sparsity=per_tap,
+        dense_taps=int((per_tap < 0.5).sum()),
+        empty_taps=int((per_tap >= 1.0).sum()),
+    )
+
+
+def effective_mac_reduction(wino_weights: np.ndarray,
+                            transform: WinogradTransform | None = None) -> float:
+    """MAC reduction vs the *direct* convolution for sparse Winograd weights.
+
+    Combines the algorithmic reduction of F(m, r) with the fraction of
+    non-zero Winograd-domain coefficients, assuming the element-wise
+    multiplication stage can skip zero weights (as the sparse-Winograd
+    accelerators in the related work do).
+    """
+    transform = transform or winograd_f4()
+    m, r, alpha = transform.m, transform.r, transform.alpha
+    density = float((wino_weights != 0.0).mean())
+    if density == 0.0:
+        return float("inf")
+    direct_macs = m * m * r * r
+    winograd_macs = alpha * alpha * density
+    return direct_macs / winograd_macs

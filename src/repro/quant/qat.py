@@ -1,0 +1,264 @@
+"""Quantization-aware training flow: model conversion, calibration, training.
+
+This module reproduces the end-to-end training recipe of Section III / V-A:
+
+1. start from a trained FP32 baseline,
+2. replace every unit-stride 3x3 convolution with a tap-wise quantized
+   Winograd layer (other convolutions fall back to int8 im2col layers),
+3. calibrate the observers with a few forward passes,
+4. optionally switch the Winograd-domain scales to learned power-of-two
+   parameters (trained with Adam) and fine-tune the whole network with SGD,
+   optionally distilling from the FP32 teacher.
+
+The :class:`QatConfig` fields map one-to-one onto the columns of Table II
+(WA, ⊙ tap-wise, 2x power-of-two, ∇log2 t, KD, intn).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.data import DataLoader
+from ..nn.layers import Conv2d
+from ..nn.module import Module
+from ..nn.optim import Adam, SGD
+from ..nn.tensor import Tensor, no_grad
+from .kd import DistillationLoss
+from .observer import Granularity
+from .qconv import QuantConv2d, QuantWinogradConv2d
+from .quantizer import Quantizer
+
+__all__ = ["QatConfig", "convert_model", "calibrate_model", "freeze_calibration",
+           "enable_learned_scales", "evaluate", "QatTrainer", "TrainResult"]
+
+
+@dataclass
+class QatConfig:
+    """Configuration of one quantization experiment (one row of Table II).
+
+    Attributes
+    ----------
+    algorithm:
+        ``"im2col"``, ``"F2"``, or ``"F4"`` — which convolution algorithm the
+        3x3 unit-stride layers use.
+    winograd_aware:
+        Propagate gradients through the Winograd domain during training.
+    tapwise:
+        Use per-tap scale factors in the Winograd domain (the contribution).
+    granularity:
+        Optional explicit granularity overriding ``tapwise``.
+    power_of_two:
+        Restrict Winograd-domain scales to powers of two.
+    learned_log2:
+        Train the power-of-two scales with the ∇log2 t method (Eq. 3).
+    knowledge_distillation:
+        Distil from the FP32 teacher during fine-tuning.
+    spatial_bits / wino_bits:
+        8/8 is "int8"; 8/9 and 8/10 are the "int8/9", "int8/10" rows.
+    quantize:
+        Master switch; ``False`` keeps the model in FP32 (baseline row).
+    """
+
+    algorithm: str = "F4"
+    winograd_aware: bool = True
+    tapwise: bool = True
+    granularity: str | None = None
+    power_of_two: bool = False
+    learned_log2: bool = False
+    knowledge_distillation: bool = False
+    spatial_bits: int | None = 8
+    wino_bits: int = 8
+    per_channel_weights: bool = False
+    quantize: bool = True
+    kd_temperature: float = 4.0
+    kd_alpha: float = 0.5
+
+    def label(self) -> str:
+        """Compact label used in tables (mirrors the paper's notation)."""
+        if not self.quantize:
+            return f"{self.algorithm}-FP32"
+        bits = f"int{self.spatial_bits}" if self.spatial_bits else "fp"
+        if self.wino_bits != self.spatial_bits:
+            bits += f"/{self.wino_bits}"
+        flags = []
+        if self.algorithm != "im2col":
+            flags.append("WA" if self.winograd_aware else "noWA")
+            if self.tapwise or self.granularity:
+                flags.append("tap")
+        if self.power_of_two:
+            flags.append("2x")
+        if self.learned_log2:
+            flags.append("log2")
+        if self.knowledge_distillation:
+            flags.append("KD")
+        suffix = "+".join(flags)
+        return f"{self.algorithm}-{bits}" + (f"-{suffix}" if suffix else "")
+
+
+def convert_model(model: Module, config: QatConfig) -> Module:
+    """Return a deep copy of ``model`` with convolutions replaced per ``config``.
+
+    Only 3x3, unit-stride convolutions are mapped to Winograd layers, exactly
+    as the paper does; 1x1 (pointwise) and strided convolutions use the
+    standard int8 path.
+    """
+    model = copy.deepcopy(model)
+    if not config.quantize:
+        return model
+    _convert_in_place(model, config)
+    return model
+
+
+def _convert_in_place(module: Module, config: QatConfig) -> None:
+    for name, child in list(module._modules.items()):
+        if isinstance(child, Conv2d):
+            replacement = _convert_conv(child, config)
+            setattr(module, name, replacement)
+        else:
+            _convert_in_place(child, config)
+
+
+def _convert_conv(conv: Conv2d, config: QatConfig) -> Module:
+    is_winograd_friendly = (conv.kernel_size == 3 and conv.stride == 1)
+    if config.algorithm != "im2col" and is_winograd_friendly:
+        return QuantWinogradConv2d.from_float(
+            conv,
+            transform=config.algorithm,
+            spatial_bits=config.spatial_bits,
+            wino_bits=config.wino_bits,
+            tapwise=config.tapwise,
+            granularity=config.granularity,
+            power_of_two=config.power_of_two,
+            learned_log2=config.learned_log2,
+            winograd_aware=config.winograd_aware,
+        )
+    return QuantConv2d.from_float(
+        conv,
+        weight_bits=config.spatial_bits or 8,
+        act_bits=config.spatial_bits or 8,
+        per_channel_weights=config.per_channel_weights,
+    )
+
+
+def calibrate_model(model: Module, loader: DataLoader, max_batches: int = 4) -> None:
+    """Run a few forward passes so every observer sees representative data."""
+    model.train()
+    with no_grad():
+        for batch_idx, (images, _labels) in enumerate(loader):
+            model(Tensor(images))
+            if batch_idx + 1 >= max_batches:
+                break
+
+
+def freeze_calibration(model: Module) -> None:
+    """Stop all quantizers from updating their running statistics."""
+    for module in model.modules():
+        if isinstance(module, Quantizer):
+            module.freeze()
+
+
+def enable_learned_scales(model: Module) -> list:
+    """Enable ∇log2 t training on every Winograd layer; returns the new params."""
+    params = []
+    for module in model.modules():
+        if isinstance(module, QuantWinogradConv2d):
+            params.extend(module.enable_learned_scales())
+    return params
+
+
+def evaluate(model: Module, loader: DataLoader, max_batches: int | None = None
+             ) -> float:
+    """Top-1 accuracy of ``model`` on ``loader``."""
+    model.eval()
+    correct = 0
+    total = 0
+    with no_grad():
+        for batch_idx, (images, labels) in enumerate(loader):
+            logits = model(Tensor(images))
+            predictions = np.argmax(logits.data, axis=-1)
+            correct += int((predictions == labels).sum())
+            total += len(labels)
+            if max_batches is not None and batch_idx + 1 >= max_batches:
+                break
+    return correct / max(total, 1)
+
+
+@dataclass
+class TrainResult:
+    """Outcome of one training run."""
+
+    label: str
+    top1: float
+    history: list[float] = field(default_factory=list)
+    epochs: int = 0
+
+    def accuracy_drop(self, baseline_top1: float) -> float:
+        return self.top1 - baseline_top1
+
+
+class QatTrainer:
+    """Fine-tunes a (possibly quantized) model, optionally with distillation.
+
+    Weights are trained with SGD + momentum; learned log2 scale factors (if
+    any) get their own Adam optimizer with the paper's betas (0.9, 0.99).
+    """
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.9,
+                 weight_decay: float = 1e-4, scale_lr: float = 0.01,
+                 kd_temperature: float = 4.0, kd_alpha: float = 0.5,
+                 log_fn=None):
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.scale_lr = scale_lr
+        self.kd = DistillationLoss(temperature=kd_temperature, alpha=kd_alpha)
+        self.log_fn = log_fn
+
+    def fit(self, model: Module, train_loader: DataLoader, val_loader: DataLoader,
+            epochs: int = 1, teacher: Module | None = None,
+            config: QatConfig | None = None, max_batches: int | None = None
+            ) -> TrainResult:
+        label = config.label() if config is not None else "model"
+        named_params = list(model.named_parameters())
+        scale_params = [p for name, p in named_params if _is_scale_param(name, p)]
+        weight_params = [p for name, p in named_params if not _is_scale_param(name, p)]
+        optimizer = SGD(weight_params, lr=self.lr, momentum=self.momentum,
+                        weight_decay=self.weight_decay)
+        scale_optimizer = Adam(scale_params, lr=self.scale_lr) if scale_params else None
+
+        if teacher is not None:
+            teacher.eval()
+
+        history: list[float] = []
+        for epoch in range(epochs):
+            model.train()
+            for batch_idx, (images, labels) in enumerate(train_loader):
+                logits = model(Tensor(images))
+                if teacher is not None:
+                    with no_grad():
+                        teacher_logits = teacher(Tensor(images))
+                    loss = self.kd(logits, Tensor(teacher_logits.data), labels)
+                else:
+                    loss = F.cross_entropy(logits, labels)
+                model.zero_grad()
+                loss.backward()
+                optimizer.step()
+                if scale_optimizer is not None:
+                    scale_optimizer.step()
+                if max_batches is not None and batch_idx + 1 >= max_batches:
+                    break
+            accuracy = evaluate(model, val_loader, max_batches=max_batches)
+            history.append(accuracy)
+            if self.log_fn is not None:
+                self.log_fn(f"[{label}] epoch {epoch + 1}/{epochs}: top-1 {accuracy:.4f}")
+        final = history[-1] if history else evaluate(model, val_loader, max_batches=max_batches)
+        return TrainResult(label=label, top1=final, history=history, epochs=epochs)
+
+
+def _is_scale_param(name, param) -> bool:
+    """Heuristic: learned log2 scales are registered under ``log2_t``."""
+    return "log2_t" in str(name)

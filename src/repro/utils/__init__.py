@@ -1,0 +1,6 @@
+"""Shared utilities: deterministic seeding and table formatting."""
+
+from .seeding import seed_everything
+from .tables import format_float, format_table, print_table
+
+__all__ = ["seed_everything", "format_table", "format_float", "print_table"]

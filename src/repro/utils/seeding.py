@@ -1,0 +1,22 @@
+"""Deterministic seeding across the library's random sources."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from ..nn import init as nn_init
+
+__all__ = ["seed_everything"]
+
+
+def seed_everything(seed: int = 0) -> np.random.Generator:
+    """Seed Python, numpy, and the weight-initialisation RNG.
+
+    Returns a fresh generator for callers that want their own stream.
+    """
+    random.seed(seed)
+    np.random.seed(seed % (2 ** 32 - 1))
+    nn_init.set_seed(seed)
+    return np.random.default_rng(seed)

@@ -1,0 +1,54 @@
+"""Small helpers to format experiment results as aligned text tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_float", "print_table"]
+
+
+def format_float(value, digits: int = 2) -> str:
+    """Render a number compactly (used by the table builders)."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, (int,)) and not isinstance(value, bool):
+        return str(value)
+    try:
+        return f"{float(value):.{digits}f}"
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 digits: int = 2) -> str:
+    """Return an aligned, pipe-separated text table."""
+    rendered_rows = [[format_float(cell, digits) if not isinstance(cell, str) else cell
+                      for cell in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for idx, cell in enumerate(row):
+            if idx < len(widths):
+                widths[idx] = max(widths[idx], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        padded = [str(cell).ljust(widths[idx]) for idx, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "|-" + "-|-".join("-" * w for w in widths) + "-|"
+    lines = [render_line([str(h) for h in headers]), separator]
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                title: str | None = None, digits: int = 2) -> str:
+    """Format, print, and return a table (the benches tee it into reports)."""
+    text = format_table(headers, rows, digits)
+    if title:
+        text = f"\n=== {title} ===\n{text}"
+    print(text)
+    return text

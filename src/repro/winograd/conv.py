@@ -1,0 +1,203 @@
+"""Winograd convolution: numpy reference and autograd-composed implementations.
+
+Two entry points are provided:
+
+* :func:`winograd_conv2d` — a pure-numpy forward pass used as the reference in
+  tests and analyses.  For unit-stride 3x3 convolutions it matches the im2col
+  convolution to floating-point precision.
+
+* :func:`winograd_conv2d_tensor` — an autograd-friendly version where the
+  Winograd-domain intermediates are exposed through *hooks*.  The tap-wise
+  quantized layer (:class:`repro.quant.qconv.QuantWinogradConv2d`) injects its
+  fake-quantization nodes through these hooks, so gradients propagate through
+  the Winograd domain exactly as in the paper's Winograd-aware training
+  (Section III-A).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..nn.tensor import Tensor, as_tensor
+from .tiling import (assemble_output_tiles, extract_tiles, pad_for_tiling,
+                     scatter_tiles_add)
+from .transforms import WinogradTransform, winograd_f4
+
+__all__ = [
+    "winograd_conv2d",
+    "winograd_conv2d_tensor",
+    "winograd_output_shape",
+    "extract_input_tiles_tensor",
+    "tile_contract_tensor",
+    "assemble_output_tensor",
+]
+
+Hook = Callable[[Tensor], Tensor]
+
+
+def winograd_output_shape(h: int, w: int, r: int = 3, padding: int = 1,
+                          ) -> tuple[int, int]:
+    """Spatial output size of a unit-stride convolution."""
+    return h + 2 * padding - r + 1, w + 2 * padding - r + 1
+
+
+# --------------------------------------------------------------------------- #
+# Pure numpy forward
+# --------------------------------------------------------------------------- #
+def winograd_conv2d(x: np.ndarray, weight: np.ndarray,
+                    transform: WinogradTransform | None = None,
+                    bias: np.ndarray | None = None,
+                    padding: int = 1) -> np.ndarray:
+    """Unit-stride 2-D convolution computed with the Winograd algorithm.
+
+    Parameters
+    ----------
+    x:
+        Input feature map, shape ``(N, Cin, H, W)``.
+    weight:
+        Kernels, shape ``(Cout, Cin, r, r)``.
+    transform:
+        Winograd transform to use; defaults to F4.
+    bias:
+        Optional per-output-channel bias.
+    padding:
+        Symmetric zero padding (1 gives "same" output for 3x3 kernels).
+    """
+    transform = transform or winograd_f4()
+    m, r, alpha = transform.m, transform.r, transform.alpha
+    if weight.shape[2] != r or weight.shape[3] != r:
+        raise ValueError(f"kernel size {weight.shape[2:]} does not match transform r={r}")
+    n, cin, h, w = x.shape
+    cout = weight.shape[0]
+
+    padded, out_h, out_w = pad_for_tiling(x, m, r, padding)
+    tiles = extract_tiles(padded, m, r)                     # (N,Cin,nH,nW,a,a)
+    tiles_w = transform.BT @ tiles @ transform.BT.T          # input transform
+    weight_w = transform.G @ weight @ transform.G.T          # (Cout,Cin,a,a)
+
+    # Tap-wise batched MatMul: accumulate over input channels.
+    prod = np.einsum("ncijab,ocab->noijab", tiles_w, weight_w, optimize=True)
+    out_tiles = transform.AT @ prod @ transform.AT.T         # back-transform
+    out = assemble_output_tiles(out_tiles, out_h, out_w)
+    if bias is not None:
+        out = out + bias.reshape(1, cout, 1, 1)
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Autograd building blocks
+# --------------------------------------------------------------------------- #
+def extract_input_tiles_tensor(x: Tensor, transform: WinogradTransform,
+                               padding: int = 1) -> tuple[Tensor, int, int]:
+    """Differentiable tile extraction.
+
+    Returns the tiles tensor ``(N, Cin, nH, nW, alpha, alpha)`` together with
+    the true convolution output size for the later crop.
+    """
+    x = as_tensor(x)
+    m, r = transform.m, transform.r
+    padded, out_h, out_w = pad_for_tiling(x.data, m, r, padding)
+    padded_shape = padded.shape
+    tiles = extract_tiles(padded, m, r)
+    orig_shape = x.shape
+
+    def _backward(grad: np.ndarray):
+        grad_padded = scatter_tiles_add(grad, padded_shape, m, r)
+        h, w = orig_shape[2], orig_shape[3]
+        dx = grad_padded[:, :, padding:padding + h, padding:padding + w]
+        return (dx,)
+
+    return Tensor.from_op(tiles, (x,), _backward), out_h, out_w
+
+
+def tile_contract_tensor(input_tiles: Tensor, weight_tiles: Tensor) -> Tensor:
+    """Tap-wise multiply-accumulate over input channels.
+
+    ``input_tiles``: ``(N, Cin, nH, nW, alpha, alpha)``
+    ``weight_tiles``: ``(Cout, Cin, alpha, alpha)``
+    returns ``(N, Cout, nH, nW, alpha, alpha)``.
+
+    This is the operation the accelerator maps onto the Cube Unit as a batched
+    MatMul (one independent MatMul per tap).
+    """
+    input_tiles = as_tensor(input_tiles)
+    weight_tiles = as_tensor(weight_tiles)
+    xw, ww = input_tiles.data, weight_tiles.data
+    out = np.einsum("ncijab,ocab->noijab", xw, ww, optimize=True)
+
+    def _backward(grad: np.ndarray):
+        dx = np.einsum("noijab,ocab->ncijab", grad, ww, optimize=True)
+        dw = np.einsum("noijab,ncijab->ocab", grad, xw, optimize=True)
+        return (dx, dw)
+
+    return Tensor.from_op(out, (input_tiles, weight_tiles), _backward)
+
+
+def assemble_output_tensor(out_tiles: Tensor, out_h: int, out_w: int) -> Tensor:
+    """Differentiable assembly of ``m x m`` output tiles into the feature map."""
+    out_tiles = as_tensor(out_tiles)
+    n, cout, n_h, n_w, m, _ = out_tiles.shape
+    data = assemble_output_tiles(out_tiles.data, out_h, out_w)
+
+    def _backward(grad: np.ndarray):
+        full_h, full_w = n_h * m, n_w * m
+        padded = np.zeros((n, cout, full_h, full_w), dtype=grad.dtype)
+        padded[:, :, :out_h, :out_w] = grad
+        tiles = padded.reshape(n, cout, n_h, m, n_w, m).transpose(0, 1, 2, 4, 3, 5)
+        return (np.ascontiguousarray(tiles),)
+
+    return Tensor.from_op(data, (out_tiles,), _backward)
+
+
+def _matmul_const_left(const: np.ndarray, tensor: Tensor) -> Tensor:
+    """``const @ tensor`` where ``const`` is a non-trainable matrix."""
+    return as_tensor(Tensor(const)) @ tensor
+
+
+def _matmul_const_right(tensor: Tensor, const: np.ndarray) -> Tensor:
+    return tensor @ Tensor(const)
+
+
+def winograd_conv2d_tensor(x: Tensor, weight: Tensor,
+                           transform: WinogradTransform | None = None,
+                           bias: Tensor | None = None,
+                           padding: int = 1,
+                           input_tile_hook: Hook | None = None,
+                           weight_tile_hook: Hook | None = None,
+                           product_hook: Hook | None = None) -> Tensor:
+    """Differentiable Winograd convolution with quantization hooks.
+
+    The hooks receive the Winograd-domain tensors and must return tensors of
+    the same shape:
+
+    * ``input_tile_hook``  — applied to ``BT x B``  (shape ``N,Cin,nH,nW,a,a``)
+    * ``weight_tile_hook`` — applied to ``G f GT``   (shape ``Cout,Cin,a,a``)
+    * ``product_hook``     — applied to the accumulated products before the
+      output back-transform (shape ``N,Cout,nH,nW,a,a``); this is where the
+      tap-wise rescaling ``S_BG`` of the paper's quantization scheme lives.
+    """
+    transform = transform or winograd_f4()
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    cout = weight.shape[0]
+
+    tiles, out_h, out_w = extract_input_tiles_tensor(x, transform, padding)
+    tiles_w = _matmul_const_left(transform.BT, _matmul_const_right(tiles, transform.B))
+    weight_w = _matmul_const_left(transform.G, _matmul_const_right(weight, transform.G.T))
+
+    if input_tile_hook is not None:
+        tiles_w = input_tile_hook(tiles_w)
+    if weight_tile_hook is not None:
+        weight_w = weight_tile_hook(weight_w)
+
+    prod = tile_contract_tensor(tiles_w, weight_w)
+    if product_hook is not None:
+        prod = product_hook(prod)
+
+    out_tiles = _matmul_const_left(transform.AT, _matmul_const_right(prod, transform.A))
+    out = assemble_output_tensor(out_tiles, out_h, out_w)
+    if bias is not None:
+        out = out + bias.reshape(1, cout, 1, 1)
+    return out

@@ -1,0 +1,140 @@
+"""General Cook–Toom / Winograd transform-matrix construction.
+
+The paper uses the canonical F(2x2, 3x3) and F(4x4, 3x3) matrices (Section II).
+This module derives transform matrices for *arbitrary* output tile size ``m``
+and kernel size ``r`` from a set of interpolation points, following the
+transposition principle: the minimal filtering algorithm F(m, r) is the
+transpose of the Toom–Cook polynomial-multiplication algorithm for degrees
+``m-1`` and ``r-1``.
+
+Construction
+------------
+Choose ``alpha - 1`` distinct finite points plus the point at infinity, where
+``alpha = m + r - 1``:
+
+* ``G``  (alpha × r)   — evaluation of the filter polynomial at the points,
+* ``Bᵀ`` (alpha × alpha) — transpose of the interpolation matrix,
+* ``Aᵀ`` (m × alpha)   — transpose of the evaluation matrix of the output
+  polynomial.
+
+The resulting matrices satisfy, for any signal ``d`` (length alpha) and
+filter ``g`` (length r)::
+
+    Aᵀ [ (G g) ⊙ (Bᵀ d) ]  ==  valid correlation of d with g   (m outputs)
+
+They may differ from the textbook matrices by a per-point diagonal scaling,
+which does not affect correctness (the product of the three scalings per
+point is one).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+__all__ = ["cook_toom_matrices", "default_points", "verify_transform_1d"]
+
+
+def default_points(num_points: int) -> list[Fraction]:
+    """Return a conventional set of finite interpolation points.
+
+    The ordering follows common practice (0, 1, -1, 2, -2, 1/2, -1/2, ...),
+    which keeps the transform coefficients small — exactly the property the
+    paper exploits to build shift-and-add transformation engines.
+    """
+    candidates = [Fraction(0), Fraction(1), Fraction(-1), Fraction(2), Fraction(-2),
+                  Fraction(1, 2), Fraction(-1, 2), Fraction(3), Fraction(-3),
+                  Fraction(4), Fraction(-4), Fraction(1, 4), Fraction(-1, 4)]
+    if num_points > len(candidates):
+        extra = [Fraction(k) for k in range(5, 5 + num_points - len(candidates))]
+        candidates = candidates + extra
+    return candidates[:num_points]
+
+
+def _evaluation_matrix(points: list[Fraction], num_coeffs: int) -> np.ndarray:
+    """Evaluation matrix of a polynomial with ``num_coeffs`` coefficients.
+
+    Rows are the finite points followed by the point at infinity (which
+    extracts the leading coefficient).
+    """
+    rows = []
+    for p in points:
+        rows.append([float(p) ** j for j in range(num_coeffs)])
+    infinity_row = [0.0] * num_coeffs
+    infinity_row[-1] = 1.0
+    rows.append(infinity_row)
+    return np.array(rows, dtype=np.float64)
+
+
+def cook_toom_matrices(m: int, r: int, points: list[Fraction] | None = None
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Construct ``(BT, G, AT)`` for the Winograd algorithm F(m, r).
+
+    Parameters
+    ----------
+    m:
+        Output tile size (per dimension).
+    r:
+        Filter size (per dimension).
+    points:
+        ``m + r - 2`` distinct finite interpolation points.  Defaults to
+        :func:`default_points`.
+
+    Returns
+    -------
+    (BT, G, AT):
+        ``BT`` is alpha×alpha, ``G`` is alpha×r, ``AT`` is m×alpha with
+        ``alpha = m + r - 1``.
+    """
+    if m < 1 or r < 1:
+        raise ValueError("m and r must be positive")
+    alpha = m + r - 1
+    if points is None:
+        points = default_points(alpha - 1)
+    points = list(points)
+    if len(points) != alpha - 1:
+        raise ValueError(f"need {alpha - 1} finite points for F({m},{r}), got {len(points)}")
+    if len(set(points)) != len(points):
+        raise ValueError("interpolation points must be distinct")
+
+    # Evaluation matrices for the filter (degree r-1) and the "output"
+    # polynomial (degree m-1), both at the same point set (+ infinity).
+    eval_r = _evaluation_matrix(points, r)          # alpha x r
+    eval_m = _evaluation_matrix(points, m)          # alpha x m
+    eval_alpha = _evaluation_matrix(points, alpha)  # alpha x alpha
+
+    g_matrix = eval_r
+    at_matrix = eval_m.T
+    interpolation = np.linalg.inv(eval_alpha)
+    bt_matrix = interpolation.T
+    return bt_matrix, g_matrix, at_matrix
+
+
+def verify_transform_1d(bt: np.ndarray, g: np.ndarray, at: np.ndarray,
+                        rng: np.random.Generator | None = None,
+                        trials: int = 8, atol: float = 1e-8) -> float:
+    """Return the max abs error of the 1-D Winograd algorithm vs direct correlation.
+
+    Used both in tests and as a sanity check when constructing transforms for
+    unusual (m, r) pairs, where ill-conditioned point sets can introduce
+    numerical error (the paper's "diminishing returns" for large tiles).
+    """
+    rng = rng or np.random.default_rng(0)
+    alpha = bt.shape[0]
+    r = g.shape[1]
+    m = at.shape[0]
+    if alpha != m + r - 1:
+        raise ValueError("inconsistent matrix sizes")
+    worst = 0.0
+    for _ in range(trials):
+        d = rng.normal(size=alpha)
+        f = rng.normal(size=r)
+        wino = at @ ((g @ f) * (bt @ d))
+        direct = np.array([np.dot(d[i:i + r], f) for i in range(m)])
+        worst = max(worst, float(np.max(np.abs(wino - direct))))
+    if worst > atol:
+        # Not raising: callers may tolerate larger tiles' numerical error, the
+        # paper itself discusses this effect for m > 4.
+        pass
+    return worst

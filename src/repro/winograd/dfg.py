@@ -1,0 +1,235 @@
+"""Data-flow-graph analysis of the Winograd transformation matrices.
+
+Section IV-B1 of the paper describes how the hardware transformation engines
+are derived: the whole transform ``sw = Tᵀ (s T)`` is unrolled into a flat
+data-flow graph (DFG), multiplications with constants are replaced by
+shift-and-add networks (using the canonical signed-digit recoding), common
+subexpressions are eliminated (CSE), and the bitwidth of every intermediate
+value is kept minimal.
+
+This module reproduces that analysis in software.  It produces the adder /
+shifter counts that size the engines (feeding the area model of Table V) and
+the per-tap cycle counts of the *tap-by-tap* engine (Table I's "T dependent"
+entry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+import numpy as np
+
+__all__ = [
+    "csd_decompose",
+    "shift_add_cost",
+    "LinearTerm",
+    "TransformDFG",
+    "transform_2d_cost",
+]
+
+
+def csd_decompose(value: int) -> list[tuple[int, int]]:
+    """Canonical signed-digit decomposition of an integer.
+
+    Returns a list of ``(shift, sign)`` pairs such that
+    ``value == sum(sign * 2**shift)`` with the minimal number of non-zero
+    digits.  E.g. ``5 -> [(0, +1), (2, +1)]`` and ``7 -> [(3, +1), (0, -1)]``.
+    """
+    if value == 0:
+        return []
+    sign = 1 if value > 0 else -1
+    v = abs(int(value))
+    digits: list[tuple[int, int]] = []
+    shift = 0
+    while v:
+        if v & 1:
+            # Look at the two least-significant bits to decide between +1/-1.
+            if (v & 3) == 3:
+                digits.append((shift, -1))
+                v += 1
+            else:
+                digits.append((shift, 1))
+                v -= 1
+        v >>= 1
+        shift += 1
+    return [(s, d * sign) for s, d in digits]
+
+
+def shift_add_cost(value: float, max_denominator: int = 1 << 12) -> tuple[int, int]:
+    """Return ``(num_terms, num_shifts)`` to multiply by ``value`` with shift/adds.
+
+    Fractional coefficients (like the 1/8, 1/4 entries of the F4 ``G`` matrix)
+    are handled by scaling to an integer and counting the final right-shift —
+    exactly the ``(a + b) >> 1`` trick quoted in Section II for F2 weights.
+    """
+    frac = Fraction(value).limit_denominator(max_denominator)
+    numerator = frac.numerator
+    denominator = frac.denominator
+    terms = csd_decompose(numerator)
+    num_terms = len(terms)
+    num_shifts = sum(1 for shift, _ in terms if shift != 0)
+    if denominator != 1:
+        num_shifts += 1  # final normalisation shift
+    return num_terms, num_shifts
+
+
+@dataclass(frozen=True)
+class LinearTerm:
+    """One output of a vector-matrix product as a sparse linear combination."""
+
+    coefficients: tuple[tuple[int, Fraction], ...]  # (input index, coefficient)
+
+    @staticmethod
+    def from_row(row: np.ndarray, max_denominator: int = 1 << 12) -> "LinearTerm":
+        coeffs = []
+        for idx, value in enumerate(row):
+            if abs(value) > 1e-12:
+                coeffs.append((idx, Fraction(float(value)).limit_denominator(max_denominator)))
+        return LinearTerm(tuple(coeffs))
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.coefficients)
+
+    def addend_count(self) -> int:
+        """Number of shift-and-add addends needed to evaluate this output."""
+        total = 0
+        for _, coeff in self.coefficients:
+            terms, _ = shift_add_cost(float(coeff))
+            total += max(terms, 1)
+        return total
+
+    def adders(self) -> int:
+        """Number of two-input adders (addends - 1, at least 0)."""
+        return max(self.addend_count() - 1, 0)
+
+    def pair_patterns(self) -> set[tuple]:
+        """All unordered coefficient pairs, used by the CSE pass."""
+        pairs = set()
+        coeffs = self.coefficients
+        for i in range(len(coeffs)):
+            for j in range(i + 1, len(coeffs)):
+                a, b = coeffs[i], coeffs[j]
+                # Normalise so that the pattern is scale-invariant: a shared
+                # sub-expression x + 2y also serves 2x + 4y after one shift.
+                if a[1] == 0:
+                    continue
+                ratio = b[1] / a[1]
+                pairs.add((a[0], b[0], ratio))
+        return pairs
+
+
+@dataclass
+class TransformDFG:
+    """Shift-and-add data-flow graph for ``y = T @ x`` with constant ``T``.
+
+    Attributes
+    ----------
+    matrix:
+        The constant transform matrix.
+    rows:
+        One :class:`LinearTerm` per output.
+    cse_savings:
+        Number of adders saved by the greedy common-subexpression pass.
+    """
+
+    matrix: np.ndarray
+    rows: list[LinearTerm] = field(default_factory=list)
+    cse_savings: int = 0
+
+    @staticmethod
+    def from_matrix(matrix: np.ndarray) -> "TransformDFG":
+        matrix = np.asarray(matrix, dtype=np.float64)
+        rows = [LinearTerm.from_row(matrix[i]) for i in range(matrix.shape[0])]
+        dfg = TransformDFG(matrix=matrix, rows=rows)
+        dfg.cse_savings = dfg._greedy_cse_savings()
+        return dfg
+
+    # ------------------------------------------------------------------ #
+    # Cost metrics
+    # ------------------------------------------------------------------ #
+    def adders_without_cse(self) -> int:
+        return sum(row.adders() for row in self.rows)
+
+    def adders_with_cse(self) -> int:
+        return max(self.adders_without_cse() - self.cse_savings, 0)
+
+    def shifters(self) -> int:
+        total = 0
+        for row in self.rows:
+            for _, coeff in row.coefficients:
+                _, shifts = shift_add_cost(float(coeff))
+                total += shifts
+        return total
+
+    def nonzero_fraction(self) -> float:
+        """Sparsity of the matrix (fraction of non-zero coefficients)."""
+        return float(np.mean(np.abs(self.matrix) > 1e-12))
+
+    def cycles_per_output_sequential(self) -> list[int]:
+        """Cycles a single-adder PE needs per output (tap-by-tap engine).
+
+        One addition of a (possibly shifted) operand per cycle; the first
+        operand only loads the accumulator, hence ``max(addends, 1)`` cycles.
+        """
+        return [max(row.addend_count(), 1) for row in self.rows]
+
+    def total_sequential_cycles(self) -> int:
+        return sum(self.cycles_per_output_sequential())
+
+    def cse_adjusted_sequential_cycles(self) -> int:
+        """Sequential cycles after reusing shared sub-expressions in time."""
+        return max(self.total_sequential_cycles() - self.cse_savings, len(self.rows))
+
+    # ------------------------------------------------------------------ #
+    # Greedy pairwise CSE
+    # ------------------------------------------------------------------ #
+    def _greedy_cse_savings(self) -> int:
+        """Count adders saved by sharing two-term sub-expressions.
+
+        A classic greedy algorithm: every unordered pair of inputs that occurs
+        with a consistent coefficient ratio in ``k`` outputs can be computed
+        once and reused, saving ``k - 1`` additions.  This is a lower bound on
+        what a full CSE pass could achieve but captures the bulk of the
+        savings for the highly symmetric Winograd matrices.
+        """
+        pattern_counts: dict[tuple, int] = {}
+        for row in self.rows:
+            for pattern in row.pair_patterns():
+                pattern_counts[pattern] = pattern_counts.get(pattern, 0) + 1
+        savings = 0
+        for count in pattern_counts.values():
+            if count > 1:
+                savings += count - 1
+        # Each row can realistically reuse at most (addends - 1) adders, so the
+        # greedy estimate is clamped to the no-CSE cost.
+        return min(savings, self.adders_without_cse())
+
+
+def transform_2d_cost(matrix: np.ndarray) -> dict[str, float]:
+    """Cost summary of a full 2-D transform ``Tᵀ (s T)`` on an alpha×alpha tile.
+
+    The 1-D transform ``s @ T`` is applied once per row and the second pass
+    ``Tᵀ @ s'`` once per column, so every 1-D cost is multiplied by the number
+    of rows/columns it is applied to.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    rows_out, cols_in = matrix.shape
+    dfg = TransformDFG.from_matrix(matrix)
+    one_d_adders = dfg.adders_with_cse()
+    one_d_cycles = dfg.cse_adjusted_sequential_cycles()
+    # First pass: applied to each of the `cols_in` rows of the input tile;
+    # second pass: applied to each of the `rows_out` columns of the result.
+    total_adders = one_d_adders * (cols_in + rows_out)
+    total_cycles = one_d_cycles * (cols_in + rows_out)
+    num_taps = rows_out * rows_out
+    return {
+        "one_d_adders": float(one_d_adders),
+        "one_d_cycles": float(one_d_cycles),
+        "total_adders": float(total_adders),
+        "total_sequential_cycles": float(total_cycles),
+        "cycles_per_tap": float(total_cycles) / float(num_taps),
+        "nonzero_fraction": dfg.nonzero_fraction(),
+        "shifters": float(dfg.shifters()),
+    }

@@ -1,0 +1,223 @@
+"""Performance models of the Winograd transformation engines (Table I).
+
+Section IV-B1 of the paper describes two implementation styles for the
+hardwired transformation engines:
+
+* **row-by-row** — a spatial PE that consumes one row of the ``hT x hT`` input
+  tile per cycle and hardcodes the multiplication with the constant matrix
+  ``T`` using adders and fixed shifters.  The second half of the transform can
+  reuse the same resources (*slow*) or use additional output-stationary lanes
+  (*fast*).
+
+* **tap-by-tap** — a time-unrolled PE with a single configurable
+  shifter/adder/accumulator that produces one tap at a time; its cycle count
+  depends on the sparsity and shared sub-expressions of ``T`` (analysed by
+  :mod:`repro.winograd.dfg`).
+
+The classes below reproduce the cycle counts and read/write bandwidth
+requirements summarised in Table I and are consumed by the accelerator model
+to size the engines and find the dataflow bottlenecks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dfg import TransformDFG, transform_2d_cost
+from .transforms import WinogradTransform
+
+__all__ = [
+    "EngineSpec",
+    "RowByRowEngine",
+    "TapByTapEngine",
+    "make_input_engine",
+    "make_weight_engine",
+    "make_output_engine",
+]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Static description of one engine instance.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports (``IN_XFORM``, ``WT_XFORM``, ``OUT_XFORM``).
+    cycles_per_transform:
+        Cycles needed by one PE to transform a single tile.
+    parallel_transforms:
+        Number of tile transforms processed concurrently (``Pc * Ps`` or
+        ``Pc * Ps * Pt``).
+    read_bw:
+        Input elements consumed per cycle (across all PEs).
+    write_bw:
+        Output elements produced per cycle (across all PEs).
+    """
+
+    name: str
+    cycles_per_transform: float
+    parallel_transforms: int
+    read_bw: float
+    write_bw: float
+
+    def transforms_per_cycle(self) -> float:
+        """Aggregate throughput in tile transforms per cycle."""
+        return self.parallel_transforms / self.cycles_per_transform
+
+    def cycles_for(self, num_transforms: int) -> float:
+        """Total cycles to process ``num_transforms`` tile transforms."""
+        if num_transforms <= 0:
+            return 0.0
+        return num_transforms / self.transforms_per_cycle()
+
+
+class RowByRowEngine:
+    """Row-by-row transformation engine (Fig. 3a of the paper).
+
+    Parameters
+    ----------
+    transform_matrix:
+        The constant matrix ``T`` implemented by the PE (``BT`` transposed
+        appropriately, ``G``, or ``AT`` depending on the usage point).
+    tile_rows, tile_cols:
+        Shape ``hT x wT`` of the matrix ``T`` as defined in Eq. (4): the input
+        tile is ``hT x hT`` and the output tile is ``wT x wT``.
+    pc, ps:
+        Parallelism along the channel and spatial dimensions.
+    fast:
+        Select the *fast* variant (extra output-stationary lanes, fewer
+        cycles) or the *slow* variant (resource reuse, more cycles).
+    """
+
+    def __init__(self, transform_matrix: np.ndarray, pc: int = 1, ps: int = 1,
+                 fast: bool = True, name: str = "row_by_row"):
+        self.matrix = np.asarray(transform_matrix, dtype=np.float64)
+        self.h_t, self.w_t = self.matrix.shape
+        self.pc = int(pc)
+        self.ps = int(ps)
+        self.fast = bool(fast)
+        self.name = name
+        self._dfg = TransformDFG.from_matrix(self.matrix.T)
+
+    # Table I rows -------------------------------------------------------- #
+    @property
+    def cycles_per_transform(self) -> int:
+        return self.h_t if self.fast else self.h_t + self.w_t
+
+    @property
+    def parallel_transforms(self) -> int:
+        return self.pc * self.ps
+
+    @property
+    def read_bw_elems(self) -> int:
+        return self.pc * self.ps * self.h_t
+
+    @property
+    def write_bw_elems(self) -> int:
+        if self.fast:
+            return self.pc * self.ps * self.w_t * self.w_t
+        return self.pc * self.ps * self.h_t
+
+    # Hardware-cost proxies ------------------------------------------------ #
+    def adders_per_pe(self) -> int:
+        """Adders of a single PE.
+
+        The slow variant hardcodes one vector-matrix product; the fast variant
+        additionally needs ``wT x wT`` output-stationary accumulation lanes.
+        """
+        base = self._dfg.adders_with_cse() * self.h_t
+        if self.fast:
+            return base + self.w_t * self.w_t
+        return base
+
+    def total_adders(self) -> int:
+        return self.adders_per_pe() * self.parallel_transforms
+
+    def spec(self) -> EngineSpec:
+        return EngineSpec(
+            name=self.name,
+            cycles_per_transform=float(self.cycles_per_transform),
+            parallel_transforms=self.parallel_transforms,
+            read_bw=float(self.read_bw_elems),
+            write_bw=float(self.write_bw_elems),
+        )
+
+
+class TapByTapEngine:
+    """Tap-by-tap transformation engine (Fig. 3b of the paper).
+
+    The per-tile cycle count is derived from the shift-and-add DFG of the
+    transform matrix, exploiting sparsity and CSE-in-time as the paper does.
+    """
+
+    def __init__(self, transform_matrix: np.ndarray, pc: int = 1, ps: int = 1,
+                 pt: int = 1, name: str = "tap_by_tap"):
+        self.matrix = np.asarray(transform_matrix, dtype=np.float64)
+        self.h_t, self.w_t = self.matrix.shape
+        self.pc = int(pc)
+        self.ps = int(ps)
+        self.pt = int(pt)
+        self.name = name
+        self._cost = transform_2d_cost(self.matrix.T)
+
+    @property
+    def cycles_per_transform(self) -> float:
+        """Cycles for one full 2-D tile transform with ``pt`` parallel taps."""
+        return max(self._cost["total_sequential_cycles"] / self.pt, 1.0)
+
+    @property
+    def parallel_transforms(self) -> int:
+        return self.pc * self.ps
+
+    @property
+    def read_bw_elems(self) -> int:
+        # One input element per cycle per (pc, ps) PE group: parallel taps
+        # share the same input reads (Section IV-B1).
+        return self.pc * self.ps
+
+    @property
+    def write_bw_elems(self) -> int:
+        return self.pc * self.ps
+
+    def adders_per_pe(self) -> int:
+        return self.pt  # one adder/accumulator per parallel tap
+
+    def total_adders(self) -> int:
+        return self.adders_per_pe() * self.parallel_transforms
+
+    def spec(self) -> EngineSpec:
+        return EngineSpec(
+            name=self.name,
+            cycles_per_transform=self.cycles_per_transform,
+            parallel_transforms=self.parallel_transforms,
+            read_bw=float(self.read_bw_elems),
+            write_bw=float(self.write_bw_elems),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Factory helpers matching the paper's design choices (Section IV-B2)
+# --------------------------------------------------------------------------- #
+def make_input_engine(transform: WinogradTransform, pc: int = 32, ps: int = 2,
+                      fast: bool = True) -> RowByRowEngine:
+    """The iFM transformation engine in the MTE1 (row-by-row, 32x2 PEs)."""
+    return RowByRowEngine(transform.BT, pc=pc, ps=ps, fast=fast, name="IN_XFORM")
+
+
+def make_weight_engine(transform: WinogradTransform, pc: int = 1, ps: int = 1,
+                       pt: int = 4) -> TapByTapEngine:
+    """The weight transformation engine in the MTE1 (tap-by-tap).
+
+    The paper sizes it to match the external weight-transfer bandwidth while
+    occupying minimum area.
+    """
+    return TapByTapEngine(transform.G, pc=pc, ps=ps, pt=pt, name="WT_XFORM")
+
+
+def make_output_engine(transform: WinogradTransform, pc: int = 16, ps: int = 1,
+                       fast: bool = True) -> RowByRowEngine:
+    """The oFM transformation engine in the FixPipe (row-by-row fast, 16 PEs)."""
+    return RowByRowEngine(transform.AT, pc=pc, ps=ps, fast=fast, name="OUT_XFORM")

@@ -1,0 +1,105 @@
+"""Tiling utilities: splitting feature maps into overlapping Winograd tiles.
+
+The Winograd algorithm processes the input feature map in overlapping tiles of
+``alpha x alpha`` (stride ``m``) and produces non-overlapping ``m x m`` output
+tiles.  The paper points out (Section V-B5) that the output spatial resolution
+must be a multiple of ``m``; when it is not, the operator zero-pads and adds
+ineffective computations — the same behaviour is reproduced here and surfaces
+in the accelerator model as wasted tiles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "tile_counts",
+    "pad_for_tiling",
+    "extract_tiles",
+    "scatter_tiles_add",
+    "assemble_output_tiles",
+]
+
+
+def tile_counts(out_h: int, out_w: int, m: int) -> tuple[int, int]:
+    """Number of Winograd tiles needed to cover an ``out_h x out_w`` output."""
+    n_h = (out_h + m - 1) // m
+    n_w = (out_w + m - 1) // m
+    return n_h, n_w
+
+
+def pad_for_tiling(x: np.ndarray, m: int, r: int, padding: int) -> tuple[np.ndarray, int, int]:
+    """Zero-pad ``x`` (NCHW) so that it can be split into full Winograd tiles.
+
+    Returns the padded array together with the convolution output size
+    (before Winograd rounding), which is needed to crop the assembled result.
+    """
+    n, c, h, w = x.shape
+    out_h = h + 2 * padding - r + 1
+    out_w = w + 2 * padding - r + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError("input too small for the requested kernel/padding")
+    n_h, n_w = tile_counts(out_h, out_w, m)
+    needed_h = n_h * m + r - 1
+    needed_w = n_w * m + r - 1
+    pad_bottom = needed_h - (h + 2 * padding)
+    pad_right = needed_w - (w + 2 * padding)
+    padded = np.pad(x, ((0, 0), (0, 0),
+                        (padding, padding + max(pad_bottom, 0)),
+                        (padding, padding + max(pad_right, 0))))
+    return padded, out_h, out_w
+
+
+def extract_tiles(x_padded: np.ndarray, m: int, r: int) -> np.ndarray:
+    """Extract overlapping ``alpha x alpha`` tiles with stride ``m``.
+
+    Parameters
+    ----------
+    x_padded:
+        Already-padded input of shape ``(N, C, Hp, Wp)`` where
+        ``Hp = n_h * m + r - 1``.
+
+    Returns
+    -------
+    ndarray of shape ``(N, C, n_h, n_w, alpha, alpha)`` (a view is copied so
+    callers may mutate it safely).
+    """
+    alpha = m + r - 1
+    n, c, hp, wp = x_padded.shape
+    n_h = (hp - (r - 1)) // m
+    n_w = (wp - (r - 1)) // m
+    s0, s1, s2, s3 = x_padded.strides
+    tiles = np.lib.stride_tricks.as_strided(
+        x_padded,
+        shape=(n, c, n_h, n_w, alpha, alpha),
+        strides=(s0, s1, s2 * m, s3 * m, s2, s3),
+        writeable=False,
+    )
+    return np.ascontiguousarray(tiles)
+
+
+def scatter_tiles_add(grad_tiles: np.ndarray, padded_shape: tuple[int, int, int, int],
+                      m: int, r: int) -> np.ndarray:
+    """Adjoint of :func:`extract_tiles`: scatter-add overlapping tiles back."""
+    alpha = m + r - 1
+    n, c, hp, wp = padded_shape
+    out = np.zeros(padded_shape, dtype=grad_tiles.dtype)
+    n_h, n_w = grad_tiles.shape[2], grad_tiles.shape[3]
+    for i in range(n_h):
+        hs = i * m
+        for j in range(n_w):
+            ws = j * m
+            out[:, :, hs:hs + alpha, ws:ws + alpha] += grad_tiles[:, :, i, j]
+    return out
+
+
+def assemble_output_tiles(out_tiles: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Stitch non-overlapping ``m x m`` output tiles and crop to the true size.
+
+    ``out_tiles`` has shape ``(N, Cout, n_h, n_w, m, m)``.
+    """
+    n, cout, n_h, n_w, m, m2 = out_tiles.shape
+    if m != m2:
+        raise ValueError("output tiles must be square")
+    full = out_tiles.transpose(0, 1, 2, 4, 3, 5).reshape(n, cout, n_h * m, n_w * m)
+    return np.ascontiguousarray(full[:, :, :out_h, :out_w])

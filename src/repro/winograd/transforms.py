@@ -1,0 +1,253 @@
+"""Winograd transformation matrices and tile-level transform operations.
+
+The F(2x2, 3x3) and F(4x4, 3x3) matrices are hard-coded exactly as printed in
+Section II of the paper; these are also the matrices the hardware
+transformation engines implement with shift-and-add networks.  A generic
+constructor based on :mod:`repro.winograd.cook_toom` is provided for other
+tile sizes (e.g. the F(6,3) used in some GPU libraries, or the huge F14 used
+by the RNS-based related work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+import numpy as np
+
+from .cook_toom import cook_toom_matrices
+
+__all__ = [
+    "WinogradTransform",
+    "winograd_f2",
+    "winograd_f4",
+    "winograd_f6",
+    "get_transform",
+    "transform_input_tile",
+    "transform_weight",
+    "transform_output_tile",
+    "inverse_weight_transform",
+    "bit_growth",
+    "macs_reduction",
+]
+
+
+@dataclass(frozen=True)
+class WinogradTransform:
+    """Container for the three transformation matrices of F(m x m, r x r).
+
+    Attributes
+    ----------
+    m:
+        Output tile size.
+    r:
+        Kernel size.
+    BT, G, AT:
+        Input, weight, and output transformation matrices.
+    name:
+        Human readable identifier (``"F2"``, ``"F4"``, ...).
+    """
+
+    m: int
+    r: int
+    BT: np.ndarray
+    G: np.ndarray
+    AT: np.ndarray
+    name: str = field(default="")
+
+    def __post_init__(self):
+        alpha = self.m + self.r - 1
+        if self.BT.shape != (alpha, alpha):
+            raise ValueError(f"BT must be {alpha}x{alpha}, got {self.BT.shape}")
+        if self.G.shape != (alpha, self.r):
+            raise ValueError(f"G must be {alpha}x{self.r}, got {self.G.shape}")
+        if self.AT.shape != (self.m, alpha):
+            raise ValueError(f"AT must be {self.m}x{alpha}, got {self.AT.shape}")
+
+    @property
+    def alpha(self) -> int:
+        """Winograd tile size m + r - 1 (number of taps per dimension)."""
+        return self.m + self.r - 1
+
+    @property
+    def num_taps(self) -> int:
+        """Number of taps of the 2-D transform (alpha squared)."""
+        return self.alpha * self.alpha
+
+    @property
+    def B(self) -> np.ndarray:
+        return self.BT.T
+
+    @property
+    def A(self) -> np.ndarray:
+        return self.AT.T
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"WinogradTransform({self.name or f'F{self.m}'}, m={self.m}, r={self.r})"
+
+
+def winograd_f2() -> WinogradTransform:
+    """F(2x2, 3x3) matrices from Section II of the paper (roots {0, 1, -1})."""
+    bt = np.array([
+        [1, 0, -1, 0],
+        [0, 1, 1, 0],
+        [0, -1, 1, 0],
+        [0, 1, 0, -1],
+    ], dtype=np.float64)
+    g = 0.5 * np.array([
+        [2, 0, 0],
+        [1, 1, 1],
+        [1, -1, 1],
+        [0, 0, 2],
+    ], dtype=np.float64)
+    at = np.array([
+        [1, 1, 1, 0],
+        [0, 1, -1, -1],
+    ], dtype=np.float64)
+    return WinogradTransform(m=2, r=3, BT=bt, G=g, AT=at, name="F2")
+
+
+def winograd_f4() -> WinogradTransform:
+    """F(4x4, 3x3) matrices from Section II of the paper.
+
+    These are the canonical Lavin & Gray matrices; the paper writes the G
+    matrix with a 1/3 prefactor which is expanded here.
+    """
+    bt = np.array([
+        [4, 0, -5, 0, 1, 0],
+        [0, -4, -4, 1, 1, 0],
+        [0, 4, -4, -1, 1, 0],
+        [0, -2, -1, 2, 1, 0],
+        [0, 2, -1, -2, 1, 0],
+        [0, 4, 0, -5, 0, 1],
+    ], dtype=np.float64)
+    g = (1.0 / 3.0) * np.array([
+        [3.0 / 4.0, 0, 0],
+        [-1.0 / 2.0, -1.0 / 2.0, -1.0 / 2.0],
+        [-1.0 / 2.0, 1.0 / 2.0, -1.0 / 2.0],
+        [1.0 / 8.0, 1.0 / 4.0, 1.0 / 2.0],
+        [1.0 / 8.0, -1.0 / 4.0, 1.0 / 2.0],
+        [0, 0, 3.0],
+    ], dtype=np.float64)
+    at = np.array([
+        [1, 1, 1, 1, 1, 0],
+        [0, 1, -1, 2, -2, 0],
+        [0, 1, 1, 4, 4, 0],
+        [0, 1, -1, 8, -8, 1],
+    ], dtype=np.float64)
+    return WinogradTransform(m=4, r=3, BT=bt, G=g, AT=at, name="F4")
+
+
+def winograd_f6() -> WinogradTransform:
+    """F(6x6, 3x3) generated with the Cook–Toom construction.
+
+    Not used by the paper's accelerator (numerical error grows too large for
+    int8), but useful for studying the accuracy-vs-tile-size trade-off the
+    paper refers to when discussing F14/RNS related work.
+    """
+    points = [Fraction(0), Fraction(1), Fraction(-1), Fraction(2), Fraction(-2),
+              Fraction(1, 2), Fraction(-1, 2)]
+    bt, g, at = cook_toom_matrices(6, 3, points)
+    return WinogradTransform(m=6, r=3, BT=bt, G=g, AT=at, name="F6")
+
+
+_REGISTRY = {
+    "F2": winograd_f2,
+    "F4": winograd_f4,
+    "F6": winograd_f6,
+}
+
+
+def get_transform(name: str) -> WinogradTransform:
+    """Look up a transform by name (``"F2"``, ``"F4"``, ``"F6"``)."""
+    key = name.upper()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown Winograd transform {name!r}; available: {sorted(_REGISTRY)}")
+    return _REGISTRY[key]()
+
+
+# --------------------------------------------------------------------------- #
+# Tile-level transforms.  All functions broadcast over leading dimensions, so
+# a whole batch of tiles / filters is transformed with two einsum-like matmuls.
+# --------------------------------------------------------------------------- #
+def transform_input_tile(tiles: np.ndarray, transform: WinogradTransform) -> np.ndarray:
+    """Compute ``BT x B`` for tiles shaped ``(..., alpha, alpha)``."""
+    bt = transform.BT
+    return bt @ tiles @ bt.T
+
+
+def transform_weight(weights: np.ndarray, transform: WinogradTransform) -> np.ndarray:
+    """Compute ``G f GT`` for kernels shaped ``(..., r, r)``.
+
+    Returns an array shaped ``(..., alpha, alpha)``.
+    """
+    g = transform.G
+    return g @ weights @ g.T
+
+
+def transform_output_tile(tiles: np.ndarray, transform: WinogradTransform) -> np.ndarray:
+    """Compute ``AT Y A`` for Winograd-domain tiles shaped ``(..., alpha, alpha)``."""
+    at = transform.AT
+    return at @ tiles @ at.T
+
+
+def inverse_weight_transform(weights_wino: np.ndarray,
+                             transform: WinogradTransform) -> np.ndarray:
+    """Map Winograd-domain weights back to the spatial domain.
+
+    Uses the Moore–Penrose pseudo-inverse of ``G`` (computed through SVD),
+    exactly as the paper does for the quantization-error analysis of Fig. 4:
+    ``f ≈ G⁺ (G f Gᵀ) (Gᵀ)⁺``.
+    """
+    g_pinv = np.linalg.pinv(transform.G)
+    return g_pinv @ weights_wino @ g_pinv.T
+
+
+# --------------------------------------------------------------------------- #
+# Numerical / complexity properties
+# --------------------------------------------------------------------------- #
+def bit_growth(transform: WinogradTransform) -> dict[str, int]:
+    """Worst-case extra bits required for bit-true computation of each transform.
+
+    A 1-D row dot-product with coefficients ``c`` applied to n-bit data grows
+    by ``log2(sum|c|)`` bits; the 2-D transform applies the matrix along both
+    dimensions, so the total extra bits are ``ceil(log2((max_row_sum)²))``.
+    Fractional matrices (the weight transform ``G``) are first scaled to
+    integers, which is how a hardware datapath would realise them.
+
+    For F2 this reproduces the ~2/3 extra bits quoted in Section II; for F4
+    it reproduces the ~8 extra bits for the feature maps and 10 extra bits for
+    the weights that motivate tap-wise quantization (Challenge I).
+    """
+    def growth(matrix: np.ndarray) -> int:
+        scaled = matrix * _fractional_lcm(matrix)
+        row_sums = np.abs(scaled).sum(axis=1)
+        return int(np.ceil(2.0 * np.log2(np.max(row_sums))))
+
+    return {
+        "input": growth(transform.BT),
+        "weight": growth(transform.G),
+        "output": growth(transform.AT),
+    }
+
+
+def _fractional_lcm(matrix: np.ndarray, max_denominator: int = 1 << 16) -> int:
+    """Smallest integer that makes every entry of ``matrix`` an integer."""
+    import math
+    from fractions import Fraction as _Fraction
+
+    denominators = [
+        _Fraction(float(v)).limit_denominator(max_denominator).denominator
+        for v in np.asarray(matrix).reshape(-1)
+    ]
+    return math.lcm(*denominators) if denominators else 1
+
+
+def macs_reduction(transform: WinogradTransform) -> float:
+    """Theoretical MAC reduction of F(m, r) vs the direct algorithm.
+
+    ``m² · r² / (m + r - 1)²`` — 2.25x for F2 and 4x for F4 with r = 3
+    (Section I of the paper).
+    """
+    m, r, alpha = transform.m, transform.r, transform.alpha
+    return (m * m * r * r) / float(alpha * alpha)

@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import settings
+
+# Keep hypothesis fast and deterministic for CI-style runs.
+settings.register_profile("repro", max_examples=25, deadline=None,
+                          derandomize=True)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def small_image_batch(rng) -> np.ndarray:
+    """A small NCHW batch used by many convolution tests."""
+    return rng.normal(size=(2, 3, 12, 10))
+
+
+@pytest.fixture
+def small_kernel(rng) -> np.ndarray:
+    return rng.normal(size=(4, 3, 3, 3))

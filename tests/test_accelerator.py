@@ -1,0 +1,261 @@
+"""Tests for the accelerator performance/energy model (configs, ops, system)."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (AcceleratorSystem, AICoreConfig, LayerWorkload,
+                               NvdlaConfig, NvdlaSystem, SystemConfig,
+                               compute_tops_per_watt, core_breakdown,
+                               default_system_config, engine_area_model,
+                               run_im2col, run_winograd, winograd_extension_overhead,
+                               winograd_supported)
+from repro.accelerator.profile import (BREAKDOWN_CATEGORIES, CycleBreakdown,
+                                       EnergyBreakdown, MemoryTraffic)
+from repro.models.layer_specs import Conv2DSpec, get_network_spec
+from repro.winograd import winograd_f4
+
+
+def layer(cin=128, cout=128, hw=32, kernel=3, stride=1):
+    return Conv2DSpec(name=f"test_{cin}_{cout}_{hw}", cin=cin, cout=cout,
+                      kernel=kernel, stride=stride, out_h=hw, out_w=hw)
+
+
+class TestConfig:
+    def test_cube_rates(self):
+        core = AICoreConfig()
+        assert core.cube.macs_per_cycle == 16 * 32 * 16
+        assert core.cube.ifm_operand_bytes_per_cycle == 512
+        assert core.peak_tops == pytest.approx(4.096)
+
+    def test_system_peak_and_bandwidth_scaling(self):
+        system = default_system_config()
+        assert system.peak_tops == pytest.approx(8.192)
+        boosted = system.with_bandwidth_scale(1.5)
+        assert boosted.dram.bandwidth_bytes_per_cycle == pytest.approx(81.2 * 1.5)
+        # original unchanged (frozen dataclass semantics)
+        assert system.dram.bandwidth_bytes_per_cycle == pytest.approx(81.2)
+
+    def test_memory_lookup(self):
+        core = AICoreConfig()
+        assert core.memory("L1").size_bytes == 1248 * 1024
+        with pytest.raises(KeyError):
+            core.memory("L9")
+
+
+class TestProfileRecords:
+    def test_cycle_breakdown_accounting(self):
+        breakdown = CycleBreakdown()
+        breakdown.add("CUBE", 100)
+        breakdown.add("VECTOR", 50)
+        assert breakdown.total() == 150
+        assert breakdown.fraction("CUBE") == pytest.approx(2 / 3)
+        with pytest.raises(KeyError):
+            breakdown.add("WARP", 1)
+
+    def test_traffic_merge(self):
+        a = MemoryTraffic(); a.add_read("L1_FM", 10); a.add_write("L0A", 5)
+        b = MemoryTraffic(); b.add_read("L1_FM", 3)
+        merged = a.merged(b)
+        assert merged.total_read("L1_FM") == 13
+        assert merged.total_write("L0A") == 5
+
+    def test_energy_breakdown(self):
+        energy = EnergyBreakdown()
+        energy.add("CUBE", 2.0)
+        energy.add("DRAM", 1.0)
+        assert energy.total() == 3.0
+        assert energy.fraction("DRAM") == pytest.approx(1 / 3)
+
+
+class TestOperatorModels:
+    def test_winograd_supported_predicate(self):
+        assert winograd_supported(LayerWorkload(layer()))
+        assert not winograd_supported(LayerWorkload(layer(kernel=1)))
+        assert not winograd_supported(LayerWorkload(layer(stride=2)))
+
+    def test_run_winograd_rejects_ineligible_layer(self):
+        with pytest.raises(ValueError):
+            run_winograd(LayerWorkload(layer(kernel=7)), default_system_config())
+
+    def test_im2col_cube_cycles_track_macs(self):
+        system = default_system_config()
+        small = run_im2col(LayerWorkload(layer(cin=64, cout=64, hw=32), batch=1), system)
+        large = run_im2col(LayerWorkload(layer(cin=256, cout=256, hw=32), batch=1), system)
+        assert large.cube_active_cycles > small.cube_active_cycles * 8
+        # cube cycles are at least MACs / peak / cores
+        peak = 8192 * 2
+        assert large.cube_active_cycles * 2 >= large.macs / 8192 / 2
+
+    def test_winograd_reduces_cube_cycles_about_4x(self):
+        system = default_system_config()
+        workload = LayerWorkload(layer(cin=256, cout=256, hw=64), batch=8)
+        base = run_im2col(workload, system)
+        wino = run_winograd(workload, system, "F4")
+        ratio = base.cube_active_cycles / wino.cube_active_cycles
+        assert 3.0 <= ratio <= 4.5
+
+    def test_breakdown_sums_to_total(self):
+        system = default_system_config()
+        for runner in (run_im2col, lambda w, s: run_winograd(w, s, "F4")):
+            profile = runner(LayerWorkload(layer(), batch=4), system)
+            assert profile.breakdown.total() == pytest.approx(profile.total_cycles, rel=1e-6)
+            assert set(profile.breakdown.cycles) <= set(BREAKDOWN_CATEGORIES)
+
+    def test_speedup_increases_with_resolution_and_batch(self):
+        system = AcceleratorSystem()
+        su_small = system.layer_speedup(layer(hw=16), batch=1)
+        su_big = system.layer_speedup(layer(hw=128), batch=1)
+        su_batch = system.layer_speedup(layer(hw=16), batch=8)
+        assert su_big > su_small
+        assert su_batch > su_small
+
+    def test_speedup_increases_with_input_channels(self):
+        system = AcceleratorSystem()
+        su_64 = system.layer_speedup(layer(cin=64, cout=256, hw=64), batch=8)
+        su_512 = system.layer_speedup(layer(cin=512, cout=256, hw=64), batch=8)
+        assert su_512 > su_64
+
+    def test_speedup_within_paper_range(self):
+        """Speed-ups stay within [0.8, 4.0] (theoretical F4 MAC reduction)."""
+        system = AcceleratorSystem()
+        for batch in (1, 8):
+            for hw in (16, 32, 128):
+                su = system.layer_speedup(layer(cin=256, cout=256, hw=hw), batch=batch)
+                assert 0.8 <= su <= 4.0
+
+    def test_winograd_energy_lower_than_im2col(self):
+        system = default_system_config()
+        workload = LayerWorkload(layer(cin=256, cout=256, hw=64), batch=8)
+        base = run_im2col(workload, system)
+        wino = run_winograd(workload, system, "F4")
+        assert wino.energy_uj < base.energy_uj
+        # The paper reports roughly >=1.5x energy reduction on Winograd layers.
+        assert base.energy_uj / wino.energy_uj > 1.3
+
+    def test_memory_traffic_ratios_match_fig6_trends(self):
+        system = default_system_config()
+        workload = LayerWorkload(layer(cin=256, cout=256, hw=64), batch=1)
+        base = run_im2col(workload, system)
+        wino = run_winograd(workload, system, "F4")
+        # Weights from GM read the same amount (on-the-fly transformation).
+        assert wino.traffic.total_read("GM_WT") == base.traffic.total_read("GM_WT")
+        # L1 weight writes inflate ~4x (Winograd-domain weights).
+        assert wino.traffic.total_write("L1_WT") == pytest.approx(
+            4.0 * base.traffic.total_write("L1_WT"), rel=0.01)
+        # L0A writes shrink (2.25x expansion vs 9x im2col lowering).
+        assert wino.traffic.total_write("L0A") < 0.5 * base.traffic.total_write("L0A")
+        # L0C accesses grow (Winograd-domain oFMs).
+        assert wino.traffic.total_write("L0C") > base.traffic.total_write("L0C")
+
+    def test_f2_vs_f4_operator(self):
+        system = AcceleratorSystem()
+        spec = layer(cin=256, cout=256, hw=128)
+        f2 = system.run_layer(spec, 8, "F2-only")
+        f4 = system.run_layer(spec, 8, "F4-only")
+        base = system.run_layer(spec, 8, "im2col")
+        assert base.total_cycles > f2.total_cycles > f4.total_cycles
+
+
+class TestSystemPolicies:
+    def test_f4_policy_falls_back_for_small_layers(self):
+        """Deep YOLOv3-like layers (tiny spatial size) may prefer im2col."""
+        system = AcceleratorSystem()
+        tiny = layer(cin=1024, cout=512, hw=8)
+        chosen = system.run_layer(tiny, 1, "F4")
+        forced = system.run_layer(tiny, 1, "F4-only")
+        baseline = system.run_layer(tiny, 1, "im2col")
+        assert chosen.total_cycles <= min(forced.total_cycles, baseline.total_cycles) + 1e-9
+
+    def test_auto_picks_fastest(self):
+        system = AcceleratorSystem()
+        spec = layer(cin=256, cout=256, hw=64)
+        auto = system.run_layer(spec, 8, "auto")
+        candidates = [system.run_layer(spec, 8, a).total_cycles
+                      for a in ("im2col", "F2-only", "F4-only")]
+        assert auto.total_cycles == pytest.approx(min(candidates))
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(ValueError):
+            AcceleratorSystem().run_layer(layer(), 1, "F8")
+
+    def test_network_profile_aggregation(self):
+        system = AcceleratorSystem()
+        spec = get_network_spec("resnet34")
+        profile = system.run_network(spec, batch=1, algorithm="F4")
+        assert len(profile.layers) == len(spec.layers)
+        assert profile.total_cycles == pytest.approx(
+            sum(l.total_cycles for l in profile.layers))
+        assert profile.throughput_images_per_second() > 0
+        assert profile.inferences_per_joule() > 0
+
+    def test_network_comparison_speedups(self):
+        system = AcceleratorSystem()
+        spec = get_network_spec("vgg16")
+        comparison = system.compare_network(spec, batch=8)
+        assert comparison.speedup("F4") > comparison.speedup("F2") > 1.0
+        assert comparison.speedup("F4", winograd_layers_only=True) >= comparison.speedup("F4")
+        assert comparison.energy_efficiency_gain("F4") > 1.0
+
+    def test_bandwidth_boost_helps_f4_more_than_f2(self):
+        system = AcceleratorSystem()
+        boosted = system.with_bandwidth_scale(1.5)
+        spec = get_network_spec("ssd_vgg16")
+        base_cmp = system.compare_network(spec, batch=8)
+        boost_cmp = boosted.compare_network(spec, batch=8)
+        assert boost_cmp.speedup("F4") >= base_cmp.speedup("F4") - 1e-9
+
+
+class TestNvdla:
+    def test_peak_throughput(self):
+        config = NvdlaConfig()
+        assert config.peak_tops == pytest.approx(8.192)
+
+    def test_winograd_f2_faster_than_direct_with_infinite_bandwidth(self):
+        nvdla = NvdlaSystem(NvdlaConfig(bandwidth_gwords_per_second=1e6))
+        speedup = nvdla.layer_speedup_vs_direct(layer(cin=128, cout=128, hw=32), batch=8)
+        assert speedup == pytest.approx(2.25, rel=0.05)
+
+    def test_iso_bandwidth_makes_big_layer_memory_bound(self):
+        nvdla = NvdlaSystem(NvdlaConfig(bandwidth_gwords_per_second=42.7))
+        big = layer(cin=256, cout=512, hw=32)
+        result = nvdla.run_layer(big, batch=8, algorithm="winograd")
+        assert result.memory_bound
+        # The F2 kernel loses most (or all) of its advantage (Table VI: 0.72x).
+        assert nvdla.layer_speedup_vs_direct(big, batch=8) < 1.6
+
+    def test_non_3x3_layer_falls_back_to_direct(self):
+        nvdla = NvdlaSystem()
+        result = nvdla.run_layer(layer(kernel=1), batch=1, algorithm="winograd")
+        assert result.algorithm == "direct"
+
+    def test_ours_beats_nvdla_at_iso_bandwidth(self):
+        ours = AcceleratorSystem()
+        nvdla = NvdlaSystem(NvdlaConfig(bandwidth_gwords_per_second=42.7))
+        spec = layer(cin=256, cout=512, hw=32)
+        ours_profile = ours.run_layer(spec, 8, "F4")
+        ours_us = ours_profile.total_cycles / (0.5e9) * 1e6
+        nvdla_us = nvdla.run_layer(spec, 8, "winograd").time_us
+        assert nvdla_us / ours_us > 1.5
+
+
+class TestAreaPower:
+    def test_table5_breakdown_constants(self):
+        breakdown = core_breakdown(AICoreConfig())
+        assert breakdown.area_mm2["CUBE"] == pytest.approx(2.04)
+        assert breakdown.area_mm2["L1"] == pytest.approx(5.97)
+
+    def test_winograd_extension_overheads_match_paper(self):
+        overhead = winograd_extension_overhead()
+        # Abstract: ~6.1% of core area, ~17% of Cube power.
+        assert 0.04 <= overhead["engine_area_fraction"] <= 0.08
+        assert 0.14 <= overhead["engine_power_vs_cube"] <= 0.20
+        assert overhead["cube_power_increase_winograd"] == pytest.approx(1.26, rel=0.02)
+
+    def test_tops_per_watt_f4_much_higher(self):
+        assert compute_tops_per_watt("im2col") == pytest.approx(5.39, rel=0.05)
+        assert compute_tops_per_watt("F4") > 2.5 * compute_tops_per_watt("im2col")
+
+    def test_engine_area_model_ranks_weight_engine_smaller_than_input(self):
+        model = engine_area_model(winograd_f4())
+        assert model["adders"]["IN_XFORM"] > 0
+        assert set(model["area_mm2_estimate"]) == {"IN_XFORM", "OUT_XFORM", "WT_XFORM"}

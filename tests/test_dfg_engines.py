@@ -1,0 +1,115 @@
+"""Tests for the transformation DFG analysis and the engine models (Table I)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.winograd.dfg import (LinearTerm, TransformDFG, csd_decompose,
+                                shift_add_cost, transform_2d_cost)
+from repro.winograd.engines import (RowByRowEngine, TapByTapEngine,
+                                    make_input_engine, make_output_engine,
+                                    make_weight_engine)
+from repro.winograd.transforms import winograd_f2, winograd_f4
+
+
+class TestCsd:
+    @given(st.integers(-4096, 4096))
+    def test_csd_reconstructs_value(self, value):
+        terms = csd_decompose(value)
+        reconstructed = sum(sign * (1 << shift) for shift, sign in terms)
+        assert reconstructed == value
+
+    @given(st.integers(1, 4096))
+    def test_csd_is_sparse(self, value):
+        """CSD uses at most ceil(bits/2)+1 nonzero digits."""
+        terms = csd_decompose(value)
+        assert len(terms) <= value.bit_length() // 2 + 1
+
+    @pytest.mark.parametrize("value,num_terms", [(0, 0), (1, 1), (2, 1), (5, 2),
+                                                 (7, 2), (-8, 1), (15, 2)])
+    def test_known_decompositions(self, value, num_terms):
+        assert len(csd_decompose(value)) == num_terms
+
+    def test_shift_add_cost_fractional(self):
+        terms, shifts = shift_add_cost(0.5)
+        assert terms == 1 and shifts >= 1
+        terms5, _ = shift_add_cost(5.0)
+        assert terms5 == 2
+
+
+class TestTransformDFG:
+    def test_identity_matrix_needs_no_adders(self):
+        dfg = TransformDFG.from_matrix(np.eye(4))
+        assert dfg.adders_without_cse() == 0
+        assert dfg.shifters() == 0
+
+    def test_f4_bt_costs(self):
+        dfg = TransformDFG.from_matrix(winograd_f4().BT)
+        assert dfg.adders_with_cse() <= dfg.adders_without_cse()
+        assert dfg.nonzero_fraction() < 1.0
+        assert dfg.total_sequential_cycles() > 0
+
+    def test_f2_cheaper_than_f4(self):
+        cost_f2 = transform_2d_cost(winograd_f2().BT.T)
+        cost_f4 = transform_2d_cost(winograd_f4().BT.T)
+        assert cost_f2["total_adders"] < cost_f4["total_adders"]
+        assert cost_f2["total_sequential_cycles"] < cost_f4["total_sequential_cycles"]
+
+    def test_linear_term_pair_patterns(self):
+        term = LinearTerm.from_row(np.array([1.0, 2.0, 0.0, -1.0]))
+        assert term.num_inputs == 3
+        assert len(term.pair_patterns()) == 3
+
+    def test_sparsity_reduces_sequential_cycles(self):
+        dense = TransformDFG.from_matrix(np.ones((4, 4)))
+        sparse = TransformDFG.from_matrix(np.eye(4))
+        assert sparse.total_sequential_cycles() < dense.total_sequential_cycles()
+
+
+class TestEngines:
+    def test_row_by_row_table1_formulas(self):
+        t = winograd_f4()
+        slow = RowByRowEngine(t.BT, pc=2, ps=3, fast=False)
+        fast = RowByRowEngine(t.BT, pc=2, ps=3, fast=True)
+        # Table I: slow = hT + wT cycles, fast = hT cycles.
+        assert slow.cycles_per_transform == 12
+        assert fast.cycles_per_transform == 6
+        assert slow.parallel_transforms == 6
+        assert slow.read_bw_elems == 6 * 6
+        assert slow.write_bw_elems == 6 * 6
+        assert fast.write_bw_elems == 6 * 36
+        assert fast.adders_per_pe() > slow.adders_per_pe()
+
+    def test_tap_by_tap_table1_formulas(self):
+        t = winograd_f4()
+        engine = TapByTapEngine(t.G, pc=2, ps=1, pt=4)
+        assert engine.parallel_transforms == 2
+        assert engine.read_bw_elems == 2
+        assert engine.write_bw_elems == 2
+        assert engine.adders_per_pe() == 4
+        # Parallel taps reduce cycles proportionally.
+        single = TapByTapEngine(t.G, pc=2, ps=1, pt=1)
+        assert engine.cycles_per_transform < single.cycles_per_transform
+
+    def test_engine_spec_throughput(self):
+        engine = RowByRowEngine(winograd_f4().BT, pc=32, ps=2, fast=False)
+        spec = engine.spec()
+        assert spec.transforms_per_cycle() == pytest.approx(64 / 12)
+        assert spec.cycles_for(640) == pytest.approx(120)
+        assert spec.cycles_for(0) == 0.0
+
+    def test_factory_helpers_match_paper_sizing(self):
+        t = winograd_f4()
+        input_engine = make_input_engine(t)
+        output_engine = make_output_engine(t)
+        weight_engine = make_weight_engine(t)
+        assert input_engine.parallel_transforms == 64
+        assert output_engine.parallel_transforms == 16
+        assert isinstance(weight_engine, TapByTapEngine)
+
+    def test_more_parallelism_means_more_adders(self):
+        t = winograd_f4()
+        small = RowByRowEngine(t.AT, pc=4, ps=1, fast=True)
+        big = RowByRowEngine(t.AT, pc=16, ps=1, fast=True)
+        assert big.total_adders() == 4 * small.total_adders()

@@ -1,0 +1,215 @@
+"""Tests of the system-side experiment runners (Tables I, IV, V, VI, VII, Figs 5, 6)."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import AcceleratorSystem
+from repro.experiments import (PAPER_REFERENCE, engine_design_space, run_fig5,
+                               run_fig6, run_table1, run_table4, run_table5,
+                               run_table6, run_table7, table4_workloads)
+from repro.experiments.table7_networks import Table7Point
+
+
+@pytest.fixture(scope="module")
+def system():
+    return AcceleratorSystem()
+
+
+class TestTable1:
+    def test_contains_all_engine_matrix_combinations(self):
+        result = run_table1()
+        assert len(result.rows) == 9  # 3 engines x 3 matrices
+        engines = {row[0] for row in result.rows}
+        assert engines == {"row-by-row slow", "row-by-row fast", "tap-by-tap"}
+
+    def test_fast_variant_halves_cycles(self):
+        result = run_table1()
+        by_key = {(row[0], row[1]): row for row in result.rows}
+        slow = by_key[("row-by-row slow", "BT (input)")]
+        fast = by_key[("row-by-row fast", "BT (input)")]
+        assert fast[2] < slow[2]
+        assert fast[6] > slow[6]  # more adders
+
+    def test_design_space_sweep(self):
+        result = engine_design_space()
+        assert len(result.rows) == 27
+        assert "dfg_costs" in result.metadata
+
+
+class TestTable4:
+    def test_full_sweep_covers_64_points(self):
+        assert len(table4_workloads()) == 64
+
+    def test_speedup_grid_shape_and_trends(self, system):
+        result = run_table4(system, batches=(1, 8), resolutions=(16, 64),
+                            channels=((64, 64), (256, 256)))
+        speedups = {(row[0], row[1], row[2], row[3]): row[4] for row in result.rows}
+        # Trend 1: larger resolution or batch -> higher speed-up.
+        assert speedups[(1, 64, 256, 256)] > speedups[(1, 16, 256, 256)]
+        assert speedups[(8, 16, 256, 256)] > speedups[(1, 16, 256, 256)]
+        # Trend 2: more input channels -> higher speed-up.
+        assert speedups[(8, 64, 256, 256)] > speedups[(8, 64, 64, 64)]
+        # Bounds: between ~parity and the theoretical 4x.
+        assert result.metadata["min_speedup"] > 0.8
+        assert result.metadata["max_speedup"] <= 4.0
+
+    def test_reference_envelope(self, system):
+        """The measured envelope overlaps the paper's 0.99-3.42 range."""
+        result = run_table4(system, batches=(8,), resolutions=(32, 128),
+                            channels=((64, 64), (256, 256), (512, 512)))
+        ref = PAPER_REFERENCE["table4"]
+        assert result.metadata["max_speedup"] >= 2.5
+        assert result.metadata["min_speedup"] <= 2.5
+        assert result.metadata["max_speedup"] <= ref["max_speedup"] + 0.8
+
+
+class TestTable5:
+    def test_headline_overheads(self):
+        result = run_table5()
+        ref = PAPER_REFERENCE["table5"]
+        assert result.metadata["engine_area_fraction"] == pytest.approx(
+            ref["engine_area_fraction"], abs=0.02)
+        assert result.metadata["engine_power_vs_cube"] == pytest.approx(
+            ref["winograd_power_overhead_vs_cube"], abs=0.03)
+        units = {row[0] for row in result.rows}
+        assert "CUBE" in units and "L1" in units
+
+
+class TestFig5:
+    def test_breakdown_normalisation(self, system):
+        result = run_fig5(system)
+        assert len(result.rows) == 8  # 4 workloads x {im2col, F4}
+        for row in result.rows:
+            total_norm = row[2]
+            segments = row[3:]
+            assert np.isclose(sum(segments), total_norm, rtol=1e-6)
+        # im2col rows are normalised to themselves.
+        im2col_rows = [row for row in result.rows if row[1] == "im2col"]
+        assert all(np.isclose(row[2], 1.0) for row in im2col_rows)
+
+    def test_weight_phase_share_shrinks_with_batch(self, system):
+        result = run_fig5(system)
+        small = result.metadata["1, 32, 128, 128"]["weight_phase_fraction"]
+        large = result.metadata["8, 32, 128, 128"]["weight_phase_fraction"]
+        assert large < small
+
+    def test_winograd_faster_on_all_fig5_workloads(self, system):
+        result = run_fig5(system)
+        f4_rows = [row for row in result.rows if row[1] == "F4"]
+        assert all(row[2] < 1.0 for row in f4_rows)
+
+
+class TestTable6:
+    def test_shape_of_comparison(self, system):
+        result = run_table6(system)
+        assert len(result.rows) == 3
+        infinite = result.column("nvdla_inf_speedup")
+        iso = result.column("nvdla_iso_speedup")
+        ours = result.column("ours_speedup")
+        ours_vs_nvdla = result.column("ours_vs_nvdla_iso")
+        # NVDLA at quasi-infinite bandwidth approaches the theoretical F2 gain.
+        assert all(1.8 <= s <= 2.3 for s in infinite)
+        # Iso bandwidth degrades NVDLA, with the big layer dropping the most.
+        assert iso[2] == min(iso)
+        assert iso[2] < 1.3
+        # Ours is faster than NVDLA on every layer at iso bandwidth (1.5-3.3x).
+        assert all(r > 1.2 for r in ours_vs_nvdla)
+        assert max(ours_vs_nvdla) > 2.5
+        # Our own speed-up stays in the Table IV envelope.
+        assert all(2.0 <= s <= 3.6 for s in ours)
+
+
+class TestTable7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        points = (Table7Point("resnet34", 1, 224),
+                  Table7Point("resnet50", 1, 224),
+                  Table7Point("ssd_vgg16", 1, 300),
+                  Table7Point("unet", 1, 572),
+                  Table7Point("yolov3", 1, 256),
+                  Table7Point("ssd_vgg16", 8, 300),
+                  Table7Point("resnet34", 16, 224))
+        return run_table7(points=points)
+
+    def test_row_structure(self, result):
+        assert len(result.rows) == 7
+        assert all(row[4] > 0 for row in result.rows)  # im2col img/s positive
+
+    def test_f4_beats_f2_beats_im2col(self, result):
+        # The paper notes F2 can occasionally edge out F4 on networks dominated
+        # by small spatial resolutions (YOLOv3 at batch 1); allow a few percent.
+        for row in result.as_dicts():
+            assert row["f2_vs_im2col"] >= 0.99
+            assert row["f4_vs_f2"] >= 0.95
+        dicts = result.as_dicts()
+        f4_wins = sum(1 for row in dicts if row["f4_vs_f2"] >= 1.0)
+        assert f4_wins >= len(dicts) - 2
+
+    def test_network_ordering_matches_paper(self, result):
+        """3x3-dominated networks (UNet, SSD) gain more than 1x1-heavy ResNet-50."""
+        rows = {(r["network"], r["batch"]): r for r in result.as_dicts()}
+        assert rows[("unet", 1)]["f4_vs_im2col"] > rows[("resnet50", 1)]["f4_vs_im2col"]
+        assert rows[("ssd_vgg16", 1)]["f4_vs_im2col"] > rows[("resnet34", 1)]["f4_vs_im2col"]
+        assert rows[("resnet34", 1)]["f4_vs_im2col"] > rows[("resnet50", 1)]["f4_vs_im2col"]
+
+    def test_batch_increases_speedup(self, result):
+        rows = {(r["network"], r["batch"]): r for r in result.as_dicts()}
+        assert (rows[("ssd_vgg16", 8)]["f4_vs_im2col"]
+                > rows[("ssd_vgg16", 1)]["f4_vs_im2col"])
+        assert (rows[("resnet34", 16)]["f4_vs_im2col"]
+                > rows[("resnet34", 1)]["f4_vs_im2col"])
+
+    def test_higher_bandwidth_increases_f4_gain(self, result):
+        # More external bandwidth helps F4 where it is memory bound; networks
+        # whose im2col baseline is itself memory bound may see the *relative*
+        # gain move slightly either way, so check the aggregate trend.
+        rows = result.as_dicts()
+        improved = sum(1 for row in rows
+                       if row["hbw_f4_vs_im2col"] >= row["f4_vs_im2col"] - 1e-6)
+        assert improved >= len(rows) // 2
+        for row in rows:
+            assert row["hbw_f4_vs_im2col"] >= 0.9 * row["f4_vs_im2col"]
+
+    def test_energy_gain_positive_and_bounded(self, result):
+        gains = result.column("f4_energy_gain")
+        assert all(1.0 <= g <= 3.0 for g in gains)
+        assert max(gains) > 1.3
+
+    def test_winograd_layer_speedup_larger_than_end_to_end(self, result):
+        for row in result.as_dicts():
+            assert row["f4_vs_im2col_wino_layers"] >= row["f4_vs_im2col"] - 1e-6
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig6(networks=("resnet34",), batch=1)
+
+    def test_energy_gain_on_weight_amortised_networks(self):
+        """On 3x3-heavy, high-resolution networks the F4 kernel roughly halves
+        the energy of the Winograd layers (the paper's >2x claim)."""
+        result = run_fig6(networks=("ssd_vgg16",), batch=1)
+        assert result.metadata["total_energy_ratio"] < 0.65
+
+    def test_traffic_ratios_match_paper_statements(self, result):
+        ratios = {row[0]: (row[1], row[2]) for row in result.rows}
+        # Weights read once from GM in both operators.
+        assert ratios["GM_WT"][0] == pytest.approx(1.0, abs=0.05)
+        # L1 weight writes inflate ~4x.
+        assert ratios["L1_WT"][1] == pytest.approx(4.0, rel=0.05)
+        # L0A writes shrink to ~0.25 (2.25/9).
+        assert ratios["L0A"][1] == pytest.approx(0.25, abs=0.1)
+        # L0C grows ~2.25x.
+        assert ratios["L0C"][1] == pytest.approx(2.25, rel=0.25)
+        # L1 weight reads increase significantly (Cube reads weights from L1).
+        assert ratios["L1_WT"][0] > 2.0
+
+    def test_total_energy_reduced(self, result):
+        # ResNet-34 at batch 1 is the worst case for the Winograd operator
+        # (little weight-transform amortisation), yet it must still save energy.
+        assert result.metadata["total_energy_ratio"] < 0.95
+        breakdown = result.metadata["energy_breakdown_vs_im2col"]
+        assert "CUBE" in breakdown and "DRAM" in breakdown
+        # The Cube Unit dominates and its share drops well below the baseline's.
+        im2col_cube = result.metadata["im2col_energy_breakdown"]["CUBE"]
+        assert breakdown["CUBE"] < 0.6 * im2col_cube

@@ -1,0 +1,172 @@
+"""Tests for repro.nn.functional: convolution, pooling, losses."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def naive_conv2d(x, w, bias=None, stride=1, padding=0):
+    """Straightforward reference convolution (correlation) in pure loops."""
+    n, cin, h, width = x.shape
+    cout, _, kh, kw = w.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (width + 2 * padding - kw) // stride + 1
+    out = np.zeros((n, cout, oh, ow))
+    for b in range(n):
+        for o in range(cout):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = xp[b, :, i * stride:i * stride + kh, j * stride:j * stride + kw]
+                    out[b, o, i, j] = np.sum(patch * w[o])
+    if bias is not None:
+        out += bias.reshape(1, cout, 1, 1)
+    return out
+
+
+class TestIm2col:
+    def test_im2col_col2im_adjoint(self, rng):
+        """col2im must be the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>."""
+        x = rng.normal(size=(1, 2, 6, 6))
+        cols = F.im2col(x, (3, 3), stride=1, padding=1)
+        y = rng.normal(size=cols.shape)
+        lhs = np.sum(cols * y)
+        back = F.col2im(y, x.shape, (3, 3), stride=1, padding=1)
+        rhs = np.sum(x * back)
+        assert np.isclose(lhs, rhs)
+
+    @given(st.integers(1, 2), st.integers(1, 3), st.integers(5, 9),
+           st.sampled_from([1, 2]), st.sampled_from([0, 1]))
+    def test_conv2d_numpy_matches_naive(self, n, cin, size, stride, padding):
+        rng = np.random.default_rng(n * 31 + cin * 7 + size + stride + padding)
+        x = rng.normal(size=(n, cin, size, size))
+        w = rng.normal(size=(2, cin, 3, 3))
+        out = F.conv2d_numpy(x, w, stride=stride, padding=padding)
+        ref = naive_conv2d(x, w, stride=stride, padding=padding)
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+
+class TestConv2dAutograd:
+    def test_forward_matches_naive_with_bias(self, rng, small_image_batch, small_kernel):
+        bias = rng.normal(size=(4,))
+        out = F.conv2d(Tensor(small_image_batch), Tensor(small_kernel), Tensor(bias),
+                       stride=1, padding=1)
+        ref = naive_conv2d(small_image_batch, small_kernel, bias, 1, 1)
+        np.testing.assert_allclose(out.data, ref, atol=1e-10)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(rng.normal(size=(1, 3, 8, 8))),
+                     Tensor(rng.normal(size=(2, 4, 3, 3))))
+
+    def test_gradients_match_numeric(self, rng):
+        x = rng.normal(size=(1, 2, 5, 5))
+        w = rng.normal(size=(2, 2, 3, 3))
+        b = rng.normal(size=(2,))
+        xt, wt, bt = Tensor(x, requires_grad=True), Tensor(w, requires_grad=True), \
+            Tensor(b, requires_grad=True)
+        (F.conv2d(xt, wt, bt, padding=1) ** 2).sum().backward()
+
+        def loss(x_, w_, b_):
+            return float((naive_conv2d(x_, w_, b_, 1, 1) ** 2).sum())
+
+        eps = 1e-6
+        # Check a handful of entries of each gradient.
+        for idx in [(0, 0, 1, 2), (0, 1, 3, 4)]:
+            xp, xm = x.copy(), x.copy()
+            xp[idx] += eps; xm[idx] -= eps
+            num = (loss(xp, w, b) - loss(xm, w, b)) / (2 * eps)
+            assert np.isclose(xt.grad[idx], num, atol=1e-4)
+        for idx in [(0, 0, 0, 0), (1, 1, 2, 2)]:
+            wp, wm = w.copy(), w.copy()
+            wp[idx] += eps; wm[idx] -= eps
+            num = (loss(x, wp, b) - loss(x, wm, b)) / (2 * eps)
+            assert np.isclose(wt.grad[idx], num, atol=1e-4)
+        np.testing.assert_allclose(
+            bt.grad,
+            [(loss(x, w, b + eps * e) - loss(x, w, b - eps * e)) / (2 * eps)
+             for e in np.eye(2)], atol=1e-4)
+
+    def test_strided_conv_shape(self, rng):
+        out = F.conv2d(Tensor(rng.normal(size=(1, 3, 9, 9))),
+                       Tensor(rng.normal(size=(5, 3, 3, 3))), stride=2, padding=1)
+        assert out.shape == (1, 5, 5, 5)
+
+
+class TestPooling:
+    def test_max_pool_values_and_grad(self):
+        x = Tensor(np.array([[[[1.0, 2.0], [3.0, 4.0]]]]), requires_grad=True)
+        out = F.max_pool2d(x, kernel=2)
+        assert out.data.reshape(-1)[0] == 4.0
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [[[[0, 0], [0, 1.0]]]])
+
+    def test_avg_pool_matches_mean(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = F.avg_pool2d(Tensor(x), kernel=2)
+        ref = x.reshape(2, 3, 2, 2, 2, 2).mean(axis=(3, 5))
+        np.testing.assert_allclose(out.data, ref, atol=1e-12)
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 5, 3, 3))
+        out = F.global_avg_pool2d(Tensor(x))
+        np.testing.assert_allclose(out.data, x.mean(axis=(2, 3)), atol=1e-12)
+
+
+class TestLosses:
+    def test_softmax_normalises(self, rng):
+        logits = Tensor(rng.normal(size=(4, 7)))
+        probs = F.softmax(logits).data
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(4), atol=1e-12)
+        assert (probs >= 0).all()
+
+    def test_log_softmax_consistency(self, rng):
+        logits = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(F.log_softmax(Tensor(logits)).data,
+                                   np.log(F.softmax(Tensor(logits)).data), atol=1e-10)
+
+    def test_cross_entropy_perfect_prediction_is_small(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+    def test_cross_entropy_gradient_is_softmax_minus_onehot(self, rng):
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([0, 2, 3])
+        lt = Tensor(logits, requires_grad=True)
+        F.cross_entropy(lt, labels).backward()
+        probs = F.softmax(Tensor(logits)).data
+        expected = (probs - F.one_hot(labels, 4)) / 3
+        np.testing.assert_allclose(lt.grad, expected, atol=1e-8)
+
+    def test_kl_div_zero_for_identical_logits(self, rng):
+        logits = rng.normal(size=(4, 6))
+        loss = F.kl_div_with_logits(Tensor(logits, requires_grad=True), Tensor(logits),
+                                    temperature=3.0)
+        assert abs(loss.item()) < 1e-10
+
+    def test_kl_div_positive_for_different_logits(self, rng):
+        a = Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 6)))
+        assert F.kl_div_with_logits(a, b).item() > 0
+
+    def test_mse_loss(self):
+        pred = Tensor([1.0, 2.0], requires_grad=True)
+        target = Tensor([0.0, 0.0])
+        assert np.isclose(F.mse_loss(pred, target).item(), 2.5)
+
+
+class TestDropout:
+    def test_dropout_eval_is_identity(self, rng):
+        x = rng.normal(size=(4, 4))
+        out = F.dropout(Tensor(x), p=0.5, training=False)
+        np.testing.assert_allclose(out.data, x)
+
+    def test_dropout_preserves_expectation(self, rng):
+        x = np.ones((2000,))
+        out = F.dropout(Tensor(x), p=0.5, training=True, rng=np.random.default_rng(0))
+        assert abs(out.data.mean() - 1.0) < 0.1

@@ -1,0 +1,175 @@
+"""Tests for the model zoo, layer-shape specs, datasets and augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (RandomCrop, RandomHorizontalFlip, make_imagenet_like_dataset,
+                            make_shapes_dataset, standard_train_augmentation)
+from repro.models import (MicroNet, get_network_spec, micro_net, resnet20,
+                          resnet34_slim, resnet50, resnet_tiny, tiny_convnet,
+                          vgg_nagadomi_tiny)
+from repro.models.layer_specs import NETWORK_SPECS, Conv2DSpec
+from repro.nn.data import ArrayDataset, DataLoader, train_val_split
+from repro.nn.tensor import Tensor, no_grad
+
+
+class TestModels:
+    @pytest.mark.parametrize("factory,input_size,num_classes", [
+        (tiny_convnet, 16, 10),
+        (micro_net, 12, 4),
+        (resnet_tiny, 16, 10),
+        (vgg_nagadomi_tiny, 32, 10),
+    ])
+    def test_forward_shapes(self, factory, input_size, num_classes, rng):
+        model = factory(num_classes=num_classes)
+        model.eval()
+        with no_grad():
+            out = model(Tensor(rng.normal(size=(2, 3, input_size, input_size))))
+        assert out.shape == (2, num_classes)
+
+    def test_resnet20_structure(self):
+        model = resnet20(width_multiplier=0.25)
+        conv3x3 = [m for m in model.modules()
+                   if type(m).__name__ == "Conv2d" and m.kernel_size == 3]
+        # Stem + 3 stages x 3 blocks x 2 convs = 19 3x3 convolutions.
+        assert len(conv3x3) == 19
+
+    def test_resnet34_slim_runs_small_input(self, rng):
+        model = resnet34_slim(num_classes=8)
+        model.eval()
+        with no_grad():
+            out = model(Tensor(rng.normal(size=(1, 3, 32, 32))))
+        assert out.shape == (1, 8)
+
+    def test_resnet50_has_bottlenecks(self):
+        model = resnet50(num_classes=10, width_multiplier=0.0625, small_input=True)
+        ones = [m for m in model.modules()
+                if type(m).__name__ == "Conv2d" and m.kernel_size == 1]
+        assert len(ones) > 16  # bottleneck 1x1 convolutions dominate
+
+    def test_micronet_trains_one_step(self, rng):
+        from repro.nn import SGD
+        from repro.nn import functional as F
+        model = MicroNet(num_classes=4)
+        x = Tensor(rng.normal(size=(4, 3, 12, 12)))
+        loss = F.cross_entropy(model(x), np.array([0, 1, 2, 3]))
+        model.zero_grad()
+        loss.backward()
+        before = model.conv1.weight.data.copy()
+        SGD(model.parameters(), lr=0.1).step()
+        assert not np.allclose(before, model.conv1.weight.data)
+
+
+class TestLayerSpecs:
+    def test_macs_match_published_values(self):
+        # Known MAC counts (within 3%): ResNet-34 ~3.6 G, ResNet-50 ~4.1 G,
+        # VGG-16 ~15.3 G, YOLOv3@416 ~32.8 G.
+        assert get_network_spec("resnet34").total_macs() == pytest.approx(3.66e9, rel=0.03)
+        assert get_network_spec("resnet50").total_macs() == pytest.approx(4.1e9, rel=0.03)
+        assert get_network_spec("vgg16").total_macs() == pytest.approx(15.3e9, rel=0.03)
+        assert get_network_spec("yolov3", 416).total_macs() == pytest.approx(32.8e9, rel=0.05)
+
+    def test_every_registered_network_builds(self):
+        for name in NETWORK_SPECS:
+            spec = get_network_spec(name)
+            assert len(spec.layers) > 10
+            assert all(layer.out_h > 0 and layer.out_w > 0 for layer in spec.layers)
+
+    def test_winograd_fraction_ordering(self):
+        """ResNet-50 (1x1-heavy) has a much lower Winograd fraction than VGG/UNet."""
+        r50 = get_network_spec("resnet50").winograd_fraction()
+        vgg = get_network_spec("vgg16").winograd_fraction()
+        unet = get_network_spec("unet").winograd_fraction()
+        assert r50 < 0.5
+        assert vgg > 0.95
+        assert unet > 0.8
+
+    def test_conv_spec_byte_counters(self):
+        spec = Conv2DSpec("layer", cin=64, cout=128, kernel=3, stride=1,
+                          out_h=32, out_w=32)
+        assert spec.macs(2) == 2 * 128 * 32 * 32 * 64 * 9
+        assert spec.weight_bytes() == 128 * 64 * 9
+        assert spec.ofm_bytes(batch=2) == 2 * 128 * 32 * 32
+        assert spec.winograd_eligible
+        assert not Conv2DSpec("p", 64, 64, 1, 1, 32, 32).winograd_eligible
+        assert not Conv2DSpec("s", 64, 64, 3, 2, 16, 16).winograd_eligible
+
+    def test_resolution_override(self):
+        low = get_network_spec("yolov3", 256)
+        high = get_network_spec("yolov3", 416)
+        assert high.total_macs() > low.total_macs()
+
+    def test_unknown_network_raises(self):
+        with pytest.raises(KeyError):
+            get_network_spec("alexnet")
+
+    def test_retinanet_has_multiscale_heads(self):
+        spec = get_network_spec("retinanet_r50_fpn")
+        head_layers = [l for l in spec.layers if l.name.startswith("head.")]
+        assert len(head_layers) == 5 * 10  # 5 pyramid levels x (4+1 cls, 4+1 box)
+
+
+class TestDatasets:
+    def test_shapes_dataset_properties(self):
+        data = make_shapes_dataset(num_samples=64, num_classes=6, size=16, seed=1)
+        assert data.images.shape == (64, 3, 16, 16)
+        assert set(np.unique(data.labels)).issubset(set(range(6)))
+        # Normalised per channel.
+        assert abs(data.images.mean()) < 0.1
+        assert abs(data.images.std() - 1.0) < 0.1
+
+    def test_dataset_is_learnable_signal(self):
+        """Same class -> similar images, different classes -> less similar."""
+        data = make_shapes_dataset(num_samples=200, num_classes=4, size=16,
+                                   noise_level=0.3, seed=0)
+        per_class_mean = [data.images[data.labels == c].mean(axis=0) for c in range(4)]
+        within = np.mean([np.linalg.norm(data.images[data.labels == c][0] - per_class_mean[c])
+                          for c in range(4)])
+        between = np.mean([np.linalg.norm(per_class_mean[0] - per_class_mean[c])
+                           for c in range(1, 4)])
+        assert between > within * 0.3
+
+    def test_imagenet_like_dataset(self):
+        data = make_imagenet_like_dataset(num_samples=16, num_classes=8, size=32)
+        assert data.images.shape == (16, 3, 32, 32)
+
+    def test_dataset_reproducible_with_seed(self):
+        a = make_shapes_dataset(num_samples=8, seed=3)
+        b = make_shapes_dataset(num_samples=8, seed=3)
+        np.testing.assert_allclose(a.images, b.images)
+
+    def test_dataloader_batching_and_shuffling(self):
+        data = make_shapes_dataset(num_samples=50, seed=0)
+        loader = DataLoader(data, batch_size=16, shuffle=True, seed=1)
+        batches = list(loader)
+        assert len(loader) == 4
+        assert sum(len(labels) for _, labels in batches) == 50
+        loader_drop = DataLoader(data, batch_size=16, drop_last=True)
+        assert len(loader_drop) == 3
+
+    def test_train_val_split_disjoint(self):
+        data = make_shapes_dataset(num_samples=100, seed=0)
+        train, val = train_val_split(data, 0.2, seed=0)
+        assert len(train) == 80 and len(val) == 20
+
+    def test_mismatched_dataset_raises(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((4, 3, 8, 8)), np.zeros(5, dtype=int))
+
+
+class TestAugmentation:
+    def test_flip_preserves_content(self, rng):
+        images = rng.normal(size=(8, 3, 16, 16))
+        flipped = RandomHorizontalFlip(p=1.0)(images, rng)
+        np.testing.assert_allclose(flipped, images[:, :, :, ::-1])
+
+    def test_crop_preserves_shape(self, rng):
+        images = rng.normal(size=(4, 3, 16, 16))
+        out = RandomCrop(padding=2)(images, rng)
+        assert out.shape == images.shape
+
+    def test_compose_pipeline(self, rng):
+        aug = standard_train_augmentation(padding=2)
+        images = rng.normal(size=(4, 3, 16, 16))
+        out = aug(images, rng)
+        assert out.shape == images.shape

@@ -1,0 +1,66 @@
+"""Tests for Winograd-domain pruning combined with tap-wise quantization."""
+
+import numpy as np
+import pytest
+
+from repro.quant import Granularity, Quantizer
+from repro.quant.pruning import (effective_mac_reduction, prune_winograd_weights,
+                                 sparsity_statistics)
+from repro.nn.tensor import Tensor
+from repro.winograd import winograd_f2, winograd_f4
+
+
+@pytest.fixture
+def kernels(rng):
+    return rng.normal(size=(16, 8, 3, 3)) * 0.1
+
+
+class TestPruning:
+    def test_zero_sparsity_is_plain_transform(self, kernels):
+        wino = prune_winograd_weights(kernels, 0.0)
+        assert wino.shape == (16, 8, 6, 6)
+        assert (wino == 0).mean() < 0.05
+
+    @pytest.mark.parametrize("sparsity", [0.25, 0.5, 0.75])
+    def test_global_sparsity_level_is_hit(self, kernels, sparsity):
+        wino = prune_winograd_weights(kernels, sparsity, per_tap=False)
+        stats = sparsity_statistics(wino)
+        assert stats.overall_sparsity == pytest.approx(sparsity, abs=0.02)
+
+    def test_per_tap_pruning_keeps_density_uniform(self, kernels):
+        wino = prune_winograd_weights(kernels, 0.5, per_tap=True)
+        stats = sparsity_statistics(wino)
+        # Every tap is pruned to (approximately) the same density.
+        assert stats.tap_sparsity_spread < 0.1
+        assert stats.empty_taps == 0
+
+    def test_global_pruning_empties_low_range_taps_first(self, kernels):
+        """Without per-tap thresholds, the small-magnitude taps vanish —
+        exactly the interaction with tap-wise scales the paper warns about."""
+        wino = prune_winograd_weights(kernels, 0.7, per_tap=False)
+        stats = sparsity_statistics(wino)
+        assert stats.tap_sparsity_spread > 0.3
+
+    def test_invalid_sparsity_rejected(self, kernels):
+        with pytest.raises(ValueError):
+            prune_winograd_weights(kernels, 1.0)
+
+    def test_mac_reduction_combines_winograd_and_sparsity(self, kernels):
+        dense = prune_winograd_weights(kernels, 0.0)
+        sparse = prune_winograd_weights(kernels, 0.5)
+        dense_gain = effective_mac_reduction(dense)
+        sparse_gain = effective_mac_reduction(sparse)
+        assert dense_gain == pytest.approx(4.0, rel=0.1)     # F4 alone
+        assert sparse_gain == pytest.approx(8.0, rel=0.15)   # F4 x 2 from sparsity
+        f2_gain = effective_mac_reduction(
+            prune_winograd_weights(kernels, 0.0, winograd_f2()), winograd_f2())
+        assert f2_gain == pytest.approx(2.25, rel=0.1)
+
+    def test_pruned_weights_compose_with_tapwise_quantizer(self, kernels):
+        """Pruning then tap-wise quantization keeps zeros exactly zero."""
+        wino = prune_winograd_weights(kernels, 0.5, winograd_f4(), per_tap=True)
+        quantizer = Quantizer(8, Granularity.PER_TAP, power_of_two=True)
+        out = quantizer(Tensor(wino)).data
+        assert np.all(out[wino == 0.0] == 0.0)
+        nonzero_error = np.abs(out[wino != 0] - wino[wino != 0]).mean()
+        assert nonzero_error < 0.05 * np.abs(wino[wino != 0]).mean()

@@ -1,0 +1,120 @@
+"""Tests of the Fig. 1 / Fig. 4 analyses (dynamic range and quantization error)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig1_weight_distribution import (collect_3x3_weights,
+                                                        dynamic_range_spread_bits,
+                                                        run_fig1, tap_histograms,
+                                                        tap_statistics)
+from repro.experiments.fig4_quant_error import (apply_channel_scale_spread,
+                                                quant_error_summary, run_fig4)
+from repro.models.small import TinyConvNet
+from repro.quant.error import (error_histogram, optimal_gamma, quantize_mu_sigma,
+                               relative_error, spatial_quant_error,
+                               winograd_quant_error)
+from repro.quant.observer import Granularity
+from repro.winograd import winograd_f4
+
+
+@pytest.fixture(scope="module")
+def sample_weights():
+    rng = np.random.default_rng(0)
+    return [rng.normal(scale=0.1, size=(8, 4, 3, 3)) for _ in range(3)]
+
+
+class TestErrorPrimitives:
+    def test_quantize_mu_sigma_exact_on_grid(self):
+        values = np.array([-1.0, 0.0, 1.0])
+        out = quantize_mu_sigma(values, np.zeros(1), np.array(1.0), n_bits=8)
+        np.testing.assert_allclose(out, values)
+
+    def test_relative_error_zero_for_identical(self, rng):
+        x = rng.normal(size=100)
+        assert relative_error(x, x).max() == 0.0
+
+    def test_optimal_gamma_returns_best_of_grid(self, rng):
+        values = rng.normal(size=(16, 8, 3, 3))
+        gamma, quantized = optimal_gamma(values, Granularity.PER_TENSOR, 8)
+        assert 2.0 <= gamma <= 16.0
+        assert quantized.shape == values.shape
+
+    def test_more_bits_reduce_error(self, rng):
+        weights = rng.normal(size=(8, 8, 3, 3))
+        err8 = spatial_quant_error(weights, "per_tensor", 8).mean_error
+        err4 = spatial_quant_error(weights, "per_tensor", 4).mean_error
+        assert err8 < err4
+
+    def test_error_histogram_normalised(self, rng):
+        errors = np.abs(rng.normal(size=1000)) * 0.01
+        centers, hist = error_histogram(errors, bins=40)
+        assert len(centers) == 40
+        width = centers[1] - centers[0]
+        assert np.isclose(hist.sum() * width, 1.0, atol=0.05)
+
+
+class TestGranularityOrdering:
+    def test_tapwise_beats_layerwise_in_winograd_domain(self, sample_weights):
+        """The central Fig. 4 result."""
+        summary = quant_error_summary(sample_weights, winograd_f4())
+        assert summary["winograd/tap"] < summary["winograd/layer"] - 1.0
+        # Channel-wise barely helps in the Winograd domain (paper: -5.58 vs -5.62).
+        assert abs(summary["winograd/channel"] - summary["winograd/layer"]) < 1.5
+        # Combined channel+tap is at least as good as tap-wise alone.
+        assert summary["winograd/channel+tap"] <= summary["winograd/tap"] + 0.3
+
+    def test_channelwise_helps_spatially_with_channel_spread(self, sample_weights):
+        spread = apply_channel_scale_spread(sample_weights, spread=0.8)
+        summary = quant_error_summary(spread, winograd_f4())
+        assert summary["spatial/channel"] < summary["spatial/layer"]
+
+    def test_winograd_layerwise_worse_than_spatial_layerwise(self, sample_weights):
+        """Quantizing GfG^T with one scale is worse than quantizing f directly."""
+        summary = quant_error_summary(sample_weights, winograd_f4())
+        assert summary["winograd/layer"] > summary["spatial/layer"]
+
+    def test_individual_strategies_return_finite_errors(self, sample_weights):
+        result = winograd_quant_error(sample_weights[0], winograd_f4(),
+                                      Granularity.PER_TAP)
+        assert np.isfinite(result.errors).all()
+        assert result.domain == "winograd"
+        assert result.mean_log2_error < 0
+
+
+class TestFig1:
+    def test_collect_weights_finds_all_3x3_layers(self):
+        model = TinyConvNet(num_classes=4)
+        weights = collect_3x3_weights(model)
+        assert len(weights) == 3
+
+    def test_tap_statistics_show_dynamic_range_spread(self):
+        model = TinyConvNet(num_classes=4, channels=(16, 32, 32))
+        weights = collect_3x3_weights(model)
+        stats = tap_statistics(weights, winograd_f4())
+        assert stats["mean_abs"].shape == (6, 6)
+        spread = dynamic_range_spread_bits(stats)
+        # The corner tap (0,0) scales the kernel by 1/16 while tap (5,5) passes
+        # the raw corner weight: several bits of spread are guaranteed.
+        assert spread > 2.0
+
+    def test_tap_histograms_cover_selected_taps(self):
+        model = TinyConvNet(num_classes=4)
+        hists = tap_histograms(collect_3x3_weights(model))
+        assert "combined" in hists
+        assert "tap_0_0" in hists and "tap_5_5" in hists
+        centers, density = hists["combined"]
+        assert len(centers) == len(density)
+
+    def test_run_fig1_table_shape(self):
+        result = run_fig1(TinyConvNet(num_classes=4))
+        assert len(result.rows) == 36
+        assert result.metadata["num_3x3_layers"] == 3
+
+
+class TestFig4Runner:
+    def test_run_fig4_orderings(self):
+        result = run_fig4(TinyConvNet(num_classes=4, channels=(16, 32, 32)),
+                          max_layers=3)
+        rows = {(row[0], row[1]): row[2] for row in result.rows}
+        assert rows[("winograd", "tap")] < rows[("winograd", "layer")]
+        assert result.metadata["tapwise_gain_over_layerwise"] > 1.5

@@ -1,0 +1,228 @@
+"""Tests of the reverse-mode autograd engine (repro.nn.tensor)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestBasicOps:
+    def test_add_backward_broadcast(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((3,)), requires_grad=True)
+        out = (a + b).sum()
+        out.backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3,)
+        np.testing.assert_allclose(b.grad, [2.0, 2.0, 2.0])
+
+    def test_mul_backward(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([4.0, 5.0], requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0, 5.0])
+        np.testing.assert_allclose(b.grad, [2.0, 3.0])
+
+    def test_div_backward(self):
+        a = Tensor([4.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).backward()
+        np.testing.assert_allclose(a.grad, [0.5])
+        np.testing.assert_allclose(b.grad, [-1.0])
+
+    def test_pow_backward(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a ** 2).backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_neg_sub_rsub(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = (5.0 - a) - (-a)
+        out.sum().backward()
+        np.testing.assert_allclose(out.data, [5.0, 5.0])
+        np.testing.assert_allclose(a.grad, [0.0, 0.0])
+
+    def test_matmul_backward_matches_numeric(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4, 2))
+        at = Tensor(a.copy(), requires_grad=True)
+        bt = Tensor(b.copy(), requires_grad=True)
+        ((at @ bt) ** 2).sum().backward()
+        num = numeric_grad(lambda x: float(((x @ b) ** 2).sum()), a.copy())
+        np.testing.assert_allclose(at.grad, num, atol=1e-5)
+
+    def test_batched_matmul_broadcast(self, rng):
+        a = Tensor(rng.normal(size=(5, 2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 4)), requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad.shape == (5, 2, 3, 4)
+        assert b.grad.shape == (4, 4)
+
+    def test_exp_log_sqrt_abs(self, rng):
+        x = np.abs(rng.normal(size=(4,))) + 0.5
+        xt = Tensor(x.copy(), requires_grad=True)
+        out = (xt.exp().log() + xt.sqrt() + xt.abs()).sum()
+        out.backward()
+        num = numeric_grad(lambda v: float(np.sum(np.log(np.exp(v)) + np.sqrt(v) + np.abs(v))),
+                           x.copy())
+        np.testing.assert_allclose(xt.grad, num, atol=1e-4)
+
+    def test_relu_clamp_gradients(self):
+        x = Tensor([-2.0, -0.5, 0.5, 2.0], requires_grad=True)
+        x.relu().sum().backward()
+        np.testing.assert_allclose(x.grad, [0, 0, 1, 1])
+        y = Tensor([-2.0, -0.5, 0.5, 2.0], requires_grad=True)
+        y.clamp(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(y.grad, [0, 1, 1, 0])
+
+    def test_sigmoid_tanh_grads_numeric(self, rng):
+        x = rng.normal(size=(5,))
+        xt = Tensor(x.copy(), requires_grad=True)
+        (xt.sigmoid() * xt.tanh()).sum().backward()
+        num = numeric_grad(
+            lambda v: float(np.sum(1 / (1 + np.exp(-v)) * np.tanh(v))), x.copy())
+        np.testing.assert_allclose(xt.grad, num, atol=1e-5)
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        x.sum(axis=(0, 2)).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3, 4)))
+
+    def test_mean_var(self, rng):
+        data = rng.normal(size=(3, 5))
+        x = Tensor(data, requires_grad=True)
+        assert np.isclose(x.mean().item(), data.mean())
+        assert np.isclose(x.var().item(), data.var())
+
+    def test_max_backward_distributes_to_argmax(self):
+        x = Tensor([[1.0, 5.0, 2.0]], requires_grad=True)
+        x.max(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.0, 1.0, 0.0]])
+
+    def test_min(self):
+        x = Tensor([[3.0, -1.0, 2.0]])
+        assert x.min().item() == -1.0
+
+    def test_reshape_transpose_roundtrip(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        out = x.reshape(6, 4).T.reshape(4, 6)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3, 4)))
+
+    def test_getitem_backward(self):
+        x = Tensor(np.arange(6, dtype=np.float64).reshape(2, 3), requires_grad=True)
+        x[0].sum().backward()
+        np.testing.assert_allclose(x.grad, [[1, 1, 1], [0, 0, 0]])
+
+    def test_pad_backward(self, rng):
+        x = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        x.pad(((1, 1), (0, 2))).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 2)))
+
+    def test_stack_concatenate(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        Tensor.stack([a, b], axis=0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+        a.zero_grad(); b.zero_grad()
+        Tensor.concatenate([a, b], axis=1).sum().backward()
+        np.testing.assert_allclose(b.grad, np.ones((2, 3)))
+
+    def test_flatten_swapaxes(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)))
+        assert x.flatten(1).shape == (2, 12)
+        assert x.swapaxes(0, 2).shape == (4, 3, 2)
+
+
+class TestGraphMechanics:
+    def test_backward_requires_scalar(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_grad_accumulation_over_two_backwards(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).sum().backward()
+        (x * 3).sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_detach_stops_gradient(self):
+        x = Tensor([2.0], requires_grad=True)
+        (x.detach() * x).sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0])
+
+    def test_no_grad_context(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 2
+        assert is_grad_enabled()
+        assert not y.requires_grad
+
+    def test_diamond_graph_accumulates(self):
+        x = Tensor([3.0], requires_grad=True)
+        a = x * 2
+        b = x * 5
+        (a + b).sum().backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_deep_chain_does_not_recurse(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(2000):
+            y = y + 0.001
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_as_tensor_idempotent(self):
+        x = Tensor([1.0])
+        assert as_tensor(x) is x
+        assert isinstance(as_tensor([1.0, 2.0]), Tensor)
+
+
+class TestHypothesisProperties:
+    @given(st.lists(st.floats(-10, 10), min_size=1, max_size=16))
+    def test_sum_matches_numpy(self, values):
+        x = Tensor(np.array(values))
+        assert np.isclose(x.sum().item(), np.sum(values))
+
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5))
+    def test_matmul_forward_matches_numpy(self, n, k, m):
+        rng = np.random.default_rng(n * 100 + k * 10 + m)
+        a = rng.normal(size=(n, k))
+        b = rng.normal(size=(k, m))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b, atol=1e-12)
+
+    @given(st.integers(1, 4), st.integers(1, 4))
+    def test_mul_gradient_is_other_operand(self, n, m):
+        rng = np.random.default_rng(n * 7 + m)
+        a = rng.normal(size=(n, m))
+        b = rng.normal(size=(n, m))
+        at = Tensor(a, requires_grad=True)
+        (at * Tensor(b)).sum().backward()
+        np.testing.assert_allclose(at.grad, b, atol=1e-12)

@@ -1,0 +1,111 @@
+"""Utility tests plus an end-to-end integration test tying both halves together."""
+
+import numpy as np
+
+from repro.accelerator import AcceleratorSystem
+from repro.models.layer_specs import Conv2DSpec
+from repro.models.small import MicroNet
+from repro.nn import functional as F
+from repro.nn.data import ArrayDataset, DataLoader
+from repro.nn.layers import Conv2d
+from repro.nn.tensor import Tensor, no_grad
+from repro.quant import (QatConfig, QuantWinogradConv2d, calibrate_model,
+                         calibrate_tapwise_scales, convert_model, evaluate,
+                         integer_winograd_conv2d)
+from repro.utils import format_table, print_table, seed_everything
+from repro.utils.tables import format_float
+from repro.winograd import winograd_f4
+
+
+class TestUtils:
+    def test_seed_everything_is_deterministic(self):
+        seed_everything(123)
+        a = np.random.rand(3)
+        seed_everything(123)
+        b = np.random.rand(3)
+        np.testing.assert_allclose(a, b)
+
+    def test_seeded_model_init_reproducible(self):
+        seed_everything(7)
+        m1 = Conv2d(3, 4, 3)
+        seed_everything(7)
+        m2 = Conv2d(3, 4, 3)
+        np.testing.assert_allclose(m1.weight.data, m2.weight.data)
+
+    def test_format_float(self):
+        assert format_float(None) == "-"
+        assert format_float(True) == "yes"
+        assert format_float(3) == "3"
+        assert format_float(3.14159, 2) == "3.14"
+        assert format_float("text") == "text"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbbb"], [[1, 2.5], ["x", None]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_print_table_returns_text(self, capsys):
+        text = print_table(["col"], [[1.0]], title="demo")
+        captured = capsys.readouterr()
+        assert "demo" in captured.out
+        assert "col" in text
+
+
+class TestEndToEnd:
+    def test_full_pipeline_train_quantize_int_infer_and_profile(self, rng):
+        """The paper's full story on a miniature scale.
+
+        1. train a float CNN on synthetic data,
+        2. convert it to a power-of-two tap-wise quantized Winograd-F4 network
+           and fine-tune/calibrate it,
+        3. check the integer-only execution of one of its layers,
+        4. run its layer shapes through the accelerator model and confirm the
+           F4 operator is faster and more energy-efficient than im2col.
+        """
+        seed_everything(0)
+        # --- 1. tiny float training run ------------------------------------
+        from repro.datasets import make_shapes_dataset
+        from repro.nn.optim import SGD
+        data = make_shapes_dataset(num_samples=96, num_classes=4, size=16, seed=0)
+        loader = DataLoader(ArrayDataset(data.images[:64], data.labels[:64]),
+                            batch_size=16, seed=0)
+        test_loader = DataLoader(ArrayDataset(data.images[64:], data.labels[64:]),
+                                 batch_size=16, shuffle=False)
+        model = MicroNet(num_classes=4, width=8)
+        optimizer = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        for _ in range(4):
+            for images, labels in loader:
+                loss = F.cross_entropy(model(Tensor(images)), labels)
+                model.zero_grad()
+                loss.backward()
+                optimizer.step()
+        float_acc = evaluate(model, test_loader)
+        assert float_acc > 0.5
+
+        # --- 2. tap-wise quantized Winograd conversion ----------------------
+        config = QatConfig(algorithm="F4", tapwise=True, power_of_two=True)
+        qmodel = convert_model(model, config)
+        calibrate_model(qmodel, loader, max_batches=2)
+        quant_acc = evaluate(qmodel, test_loader)
+        assert quant_acc >= float_acc - 0.25
+
+        # --- 3. integer-only execution of the first Winograd layer ----------
+        qlayer = next(m for m in qmodel.modules() if isinstance(m, QuantWinogradConv2d))
+        x = data.images[:4]
+        scales = calibrate_tapwise_scales(x, qlayer.weight.data, winograd_f4(),
+                                          power_of_two=True)
+        bias = qlayer.bias.data if qlayer.bias is not None else None
+        out_int = integer_winograd_conv2d(x, qlayer.weight.data, winograd_f4(),
+                                          scales, bias=bias)
+        ref = F.conv2d_numpy(x, qlayer.weight.data, bias, padding=1)
+        assert np.abs(out_int - ref).mean() / np.abs(ref).mean() < 0.25
+
+        # --- 4. accelerator model on the network's layer shapes -------------
+        system = AcceleratorSystem()
+        spec = Conv2DSpec("micronet.conv2", cin=8, cout=8, kernel=3, stride=1,
+                          out_h=64, out_w=64)
+        baseline = system.run_layer(spec, batch=8, algorithm="im2col")
+        wino = system.run_layer(spec, batch=8, algorithm="F4")
+        assert wino.total_cycles <= baseline.total_cycles
+        assert wino.energy_uj <= baseline.energy_uj * 1.1

@@ -1,0 +1,129 @@
+"""Tests for the Winograd convolution (float and autograd paths)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.winograd import (winograd_conv2d, winograd_conv2d_tensor, winograd_f2,
+                            winograd_f4, winograd_f6)
+from repro.winograd.conv import (assemble_output_tensor,
+                                 extract_input_tiles_tensor, tile_contract_tensor,
+                                 winograd_output_shape)
+
+
+class TestFloatEquivalence:
+    @pytest.mark.parametrize("factory", [winograd_f2, winograd_f4])
+    def test_matches_im2col_same_padding(self, factory, rng, small_image_batch,
+                                         small_kernel):
+        ref = F.conv2d_numpy(small_image_batch, small_kernel, padding=1)
+        out = winograd_conv2d(small_image_batch, small_kernel, factory(), padding=1)
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+    @pytest.mark.parametrize("padding", [0, 1, 2])
+    def test_matches_im2col_other_paddings(self, padding, rng):
+        x = rng.normal(size=(1, 2, 11, 13))
+        w = rng.normal(size=(3, 2, 3, 3))
+        ref = F.conv2d_numpy(x, w, padding=padding)
+        out = winograd_conv2d(x, w, winograd_f4(), padding=padding)
+        np.testing.assert_allclose(out, ref, atol=1e-9)
+
+    def test_with_bias(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=(4,))
+        ref = F.conv2d_numpy(x, w, b, padding=1)
+        out = winograd_conv2d(x, w, winograd_f4(), bias=b, padding=1)
+        np.testing.assert_allclose(out, ref, atol=1e-9)
+
+    def test_f6_still_accurate_in_float(self, rng):
+        x = rng.normal(size=(1, 2, 12, 12))
+        w = rng.normal(size=(2, 2, 3, 3))
+        ref = F.conv2d_numpy(x, w, padding=1)
+        out = winograd_conv2d(x, w, winograd_f6(), padding=1)
+        np.testing.assert_allclose(out, ref, atol=1e-6)
+
+    def test_wrong_kernel_size_raises(self, rng):
+        with pytest.raises(ValueError):
+            winograd_conv2d(rng.normal(size=(1, 1, 8, 8)),
+                            rng.normal(size=(1, 1, 5, 5)), winograd_f4())
+
+    @given(st.integers(4, 17), st.integers(4, 17))
+    def test_arbitrary_spatial_sizes(self, h, w):
+        """Non-multiple-of-m sizes exercise the zero-padding waste path."""
+        rng = np.random.default_rng(h * 31 + w)
+        x = rng.normal(size=(1, 2, h, w))
+        weight = rng.normal(size=(2, 2, 3, 3))
+        ref = F.conv2d_numpy(x, weight, padding=1)
+        out = winograd_conv2d(x, weight, winograd_f4(), padding=1)
+        np.testing.assert_allclose(out, ref, atol=1e-8)
+
+    def test_output_shape_helper(self):
+        assert winograd_output_shape(32, 32) == (32, 32)
+        assert winograd_output_shape(15, 20, r=3, padding=0) == (13, 18)
+
+
+class TestAutogradPath:
+    def test_forward_matches_conv2d(self, rng, small_image_batch, small_kernel):
+        ref = F.conv2d(Tensor(small_image_batch), Tensor(small_kernel), padding=1)
+        out = winograd_conv2d_tensor(Tensor(small_image_batch), Tensor(small_kernel),
+                                     winograd_f4(), padding=1)
+        np.testing.assert_allclose(out.data, ref.data, atol=1e-10)
+
+    @pytest.mark.parametrize("factory", [winograd_f2, winograd_f4])
+    def test_gradients_match_im2col_conv(self, factory, rng):
+        x = rng.normal(size=(2, 3, 9, 9))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=(4,))
+
+        x1, w1, b1 = (Tensor(x, requires_grad=True), Tensor(w, requires_grad=True),
+                      Tensor(b, requires_grad=True))
+        (winograd_conv2d_tensor(x1, w1, factory(), bias=b1, padding=1) ** 2).sum().backward()
+
+        x2, w2, b2 = (Tensor(x, requires_grad=True), Tensor(w, requires_grad=True),
+                      Tensor(b, requires_grad=True))
+        (F.conv2d(x2, w2, b2, padding=1) ** 2).sum().backward()
+
+        np.testing.assert_allclose(x1.grad, x2.grad, atol=1e-8)
+        np.testing.assert_allclose(w1.grad, w2.grad, atol=1e-8)
+        np.testing.assert_allclose(b1.grad, b2.grad, atol=1e-8)
+
+    def test_hooks_are_applied(self, rng):
+        """A hook that zeroes the weight tiles must zero the output."""
+        x = Tensor(rng.normal(size=(1, 2, 8, 8)))
+        w = Tensor(rng.normal(size=(2, 2, 3, 3)))
+        out = winograd_conv2d_tensor(x, w, winograd_f4(), padding=1,
+                                     weight_tile_hook=lambda t: t * 0.0)
+        np.testing.assert_allclose(out.data, 0.0)
+
+    def test_product_hook_scales_output(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 8, 8)))
+        w = Tensor(rng.normal(size=(2, 2, 3, 3)))
+        base = winograd_conv2d_tensor(x, w, winograd_f4(), padding=1)
+        doubled = winograd_conv2d_tensor(x, w, winograd_f4(), padding=1,
+                                         product_hook=lambda t: t * 2.0)
+        np.testing.assert_allclose(doubled.data, 2.0 * base.data, atol=1e-10)
+
+    def test_tile_extraction_gradient_is_multiplicity(self, rng):
+        """Each input pixel's gradient equals the number of tiles it belongs to."""
+        x = Tensor(rng.normal(size=(1, 1, 8, 8)), requires_grad=True)
+        tiles, _, _ = extract_input_tiles_tensor(x, winograd_f4(), padding=1)
+        tiles.sum().backward()
+        center = x.grad[0, 0, 4, 4]
+        corner = x.grad[0, 0, 0, 0]
+        assert center >= corner  # interior pixels are shared by more tiles
+
+    def test_tile_contract_matches_einsum(self, rng):
+        xw = rng.normal(size=(2, 3, 2, 2, 6, 6))
+        ww = rng.normal(size=(4, 3, 6, 6))
+        out = tile_contract_tensor(Tensor(xw), Tensor(ww))
+        ref = np.einsum("ncijab,ocab->noijab", xw, ww)
+        np.testing.assert_allclose(out.data, ref, atol=1e-12)
+
+    def test_assemble_output_gradient_roundtrip(self, rng):
+        tiles = Tensor(rng.normal(size=(1, 2, 2, 2, 4, 4)), requires_grad=True)
+        out = assemble_output_tensor(tiles, 8, 8)
+        out.sum().backward()
+        np.testing.assert_allclose(tiles.grad, np.ones_like(tiles.data))
