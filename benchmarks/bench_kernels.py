@@ -2,31 +2,51 @@
 
 Not a paper table — these measure the Python/numpy implementation itself
 (Winograd vs im2col forward, fake-quantization, integer path), which is useful
-when using the library for algorithm prototyping.
+when using the library for algorithm prototyping.  Each kernel is benchmarked
+under both registered kernel backends (``reference`` einsum/loops vs ``fast``
+batched GEMMs); ``benchmarks/run_bench.py`` is the scripted version that
+writes ``BENCH_kernels.json``.
 """
 
 import numpy as np
+import pytest
 
+from repro.kernels import available_backends, use_backend
 from repro.nn.functional import conv2d_numpy
 from repro.quant import calibrate_tapwise_scales, integer_winograd_conv2d
-from repro.winograd import winograd_conv2d, winograd_f4
+from repro.winograd import winograd_conv2d, winograd_f2, winograd_f4
 
 _RNG = np.random.default_rng(0)
 _X = _RNG.normal(size=(4, 32, 32, 32))
 _W = _RNG.normal(size=(32, 32, 3, 3))
 
+BACKENDS = available_backends()
 
-def test_bench_im2col_conv_forward(benchmark):
-    out = benchmark(conv2d_numpy, _X, _W, None, 1, 1)
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bench_im2col_conv_forward(benchmark, backend):
+    with use_backend(backend):
+        out = benchmark(conv2d_numpy, _X, _W, None, 1, 1)
     assert out.shape == (4, 32, 32, 32)
 
 
-def test_bench_winograd_f4_conv_forward(benchmark):
-    out = benchmark(winograd_conv2d, _X, _W, winograd_f4(), None, 1)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bench_winograd_f4_conv_forward(benchmark, backend):
+    with use_backend(backend):
+        out = benchmark(winograd_conv2d, _X, _W, winograd_f4(), None, 1)
     assert out.shape == (4, 32, 32, 32)
 
 
-def test_bench_integer_tapwise_winograd(benchmark):
-    scales = calibrate_tapwise_scales(_X, _W, winograd_f4(), power_of_two=True)
-    out = benchmark(integer_winograd_conv2d, _X, _W, winograd_f4(), scales)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bench_winograd_f2_conv_forward(benchmark, backend):
+    with use_backend(backend):
+        out = benchmark(winograd_conv2d, _X, _W, winograd_f2(), None, 1)
+    assert out.shape == (4, 32, 32, 32)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bench_integer_tapwise_winograd(benchmark, backend):
+    with use_backend(backend):
+        scales = calibrate_tapwise_scales(_X, _W, winograd_f4(), power_of_two=True)
+        out = benchmark(integer_winograd_conv2d, _X, _W, winograd_f4(), scales)
     assert out.shape == (4, 32, 32, 32)

@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Kernel micro-benchmark harness: reference vs fast backend.
+
+Runs the library's computational kernels (im2col convolution, Winograd
+F2/F4 forward, Winograd-aware autograd step, integer tap-wise path) under
+both registered kernel backends and writes ``BENCH_kernels.json`` with median
+wall-clock times and speedup ratios, so the repo's performance trajectory is
+tracked from PR to PR.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--output PATH]
+        [--repeats N] [--warmup N]
+
+The headline case (``winograd_f4_forward``, 4x32x32x32 input, 32 output
+channels) is the acceptance benchmark: the ``fast`` backend must stay >= 2x
+faster than ``reference``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import numpy as np  # noqa: E402
+
+from repro.kernels import available_backends, use_backend  # noqa: E402
+from repro.nn.functional import conv2d_numpy  # noqa: E402
+from repro.nn.tensor import Tensor  # noqa: E402
+from repro.quant import (calibrate_tapwise_scales,  # noqa: E402
+                         integer_winograd_conv2d)
+from repro.winograd import (winograd_conv2d, winograd_conv2d_tensor,  # noqa: E402
+                            winograd_f2, winograd_f4)
+
+# Acceptance workload: 4x32x32x32 input, 32 output channels, 3x3 kernels.
+_RNG = np.random.default_rng(0)
+X = _RNG.normal(size=(4, 32, 32, 32))
+W = _RNG.normal(size=(32, 32, 3, 3))
+GRAD = _RNG.normal(size=(4, 32, 32, 32))
+
+
+def _timed_call(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _autograd_step():
+    x = Tensor(X, requires_grad=True)
+    w = Tensor(W, requires_grad=True)
+    out = winograd_conv2d_tensor(x, w, winograd_f4(), padding=1)
+    out.backward(GRAD)
+
+
+def _integer_case():
+    scales = calibrate_tapwise_scales(X, W, winograd_f4(), power_of_two=True)
+
+    def run():
+        integer_winograd_conv2d(X, W, winograd_f4(), scales)
+
+    return run
+
+
+CASES = {
+    "im2col_forward": lambda: conv2d_numpy(X, W, None, 1, 1),
+    "winograd_f2_forward": lambda: winograd_conv2d(X, W, winograd_f2(), None, 1),
+    "winograd_f4_forward": lambda: winograd_conv2d(X, W, winograd_f4(), None, 1),
+    "winograd_f4_autograd_fwd_bwd": _autograd_step,
+    "integer_tapwise_f4": _integer_case(),
+}
+
+
+def run_benchmarks(repeats: int, warmup: int) -> dict:
+    backends = available_backends()
+    results = {}
+    for case_name, fn in CASES.items():
+        times = {name: [] for name in backends}
+        for name in backends:
+            with use_backend(name):
+                for _ in range(warmup):
+                    fn()
+        # Interleave the backends round by round so that bursts of external
+        # CPU contention (shared machines) hit both measurements equally; the
+        # speedup is then the median of the *per-round paired* ratios, which
+        # is robust to load shifting between rounds.
+        for _ in range(repeats):
+            for name in backends:
+                with use_backend(name):
+                    times[name].append(_timed_call(fn))
+        case = {f"{name}_s": float(statistics.median(ts))
+                for name, ts in times.items()}
+        if "reference_s" in case and "fast_s" in case and case["fast_s"] > 0:
+            ratios = [ref_t / fast_t for ref_t, fast_t
+                      in zip(times["reference"], times["fast"]) if fast_t > 0]
+            case["speedup_fast_vs_reference"] = float(statistics.median(ratios))
+        results[case_name] = case
+        print(f"{case_name:32s} " + "  ".join(
+            f"{k}={v:.6f}" if k.endswith("_s") else f"{k}={v:.2f}x"
+            for k, v in case.items()))
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--output", default=os.path.join(os.path.dirname(_HERE),
+                                                         "BENCH_kernels.json"))
+    parser.add_argument("--repeats", type=int, default=15)
+    parser.add_argument("--warmup", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(args.repeats, args.warmup)
+    payload = {
+        "meta": {
+            "workload": {"input": list(X.shape), "weight": list(W.shape),
+                         "padding": 1},
+            "repeats": args.repeats,
+            "warmup": args.warmup,
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "results": results,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    headline = results.get("winograd_f4_forward", {})
+    speedup = headline.get("speedup_fast_vs_reference", 0.0)
+    print(f"headline winograd_f4_forward speedup: {speedup:.2f}x (target >= 2x)")
+    return 0 if speedup >= 2.0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,12 +10,17 @@ The package is organised in two halves mirroring the paper:
 * the **system**: :mod:`repro.accelerator`, a performance/energy model of the
   Winograd-enhanced DSA and of the NVDLA comparison point.
 
+Both halves sit on :mod:`repro.kernels`, a registry of kernel backends for
+the numerically heavy primitives (``"fast"`` batched-GEMM formulations by
+default, the seed ``"reference"`` einsum code for equivalence testing; select
+with ``repro.kernels.set_backend`` or the ``REPRO_KERNEL_BACKEND`` env var).
+
 :mod:`repro.experiments` regenerates every table and figure of the paper's
 evaluation section; see DESIGN.md and EXPERIMENTS.md.
 """
 
-from . import (accelerator, datasets, experiments, models, nn, quant, utils,
-               winograd)
+from . import (accelerator, datasets, experiments, kernels, models, nn, quant,
+               utils, winograd)
 from .accelerator import AcceleratorSystem, NvdlaSystem
 from .quant import QatConfig, QuantWinogradConv2d, Quantizer
 from .winograd import WinogradTransform, winograd_conv2d, winograd_f2, winograd_f4
@@ -24,7 +29,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "nn", "winograd", "quant", "models", "datasets", "accelerator",
-    "experiments", "utils",
+    "experiments", "utils", "kernels",
     "WinogradTransform", "winograd_f2", "winograd_f4", "winograd_conv2d",
     "Quantizer", "QuantWinogradConv2d", "QatConfig",
     "AcceleratorSystem", "NvdlaSystem",

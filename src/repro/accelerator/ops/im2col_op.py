@@ -13,8 +13,8 @@ from __future__ import annotations
 
 from ..config import SystemConfig
 from ..energy import compute_energy
-from ..profile import CycleBreakdown, LayerProfile, MemoryTraffic
-from .common import LayerWorkload, ceil_div
+from ..profile import LayerProfile, MemoryTraffic
+from .common import LayerWorkload, assemble_critical_path, ceil_div
 
 __all__ = ["run_im2col"]
 
@@ -79,20 +79,9 @@ def run_im2col(workload: LayerWorkload, system: SystemConfig) -> LayerProfile:
     # bounding with their sum.
     stage_times["IN_LOAD"] = max(stage_times["IN_LOAD"],
                                  stream_dram_cycles - stage_times["OUT_STORE"])
-    bottleneck = max(stage_times, key=stage_times.get)
-    l2_block_bytes = core.memory("L1").size_bytes // 2
-    num_outer = max(8, ceil_div(int(ifm_bytes), l2_block_bytes))
-
-    breakdown = CycleBreakdown()
-    breakdown.add("WT_LOAD", weight_load_cycles)
-    total = weight_load_cycles + stage_times[bottleneck]
-    breakdown.add(bottleneck, stage_times[bottleneck])
-    for stage, time in stage_times.items():
-        if stage == bottleneck:
-            continue
-        fill = time / num_outer
-        breakdown.add(stage, fill)
-        total += fill
+    breakdown, total, bottleneck = assemble_critical_path(
+        stage_times, [("WT_LOAD", weight_load_cycles)], weight_load_cycles,
+        ifm_bytes, core.memory("L1").size_bytes)
 
     # ----------------------------------------------------------------- #
     # Memory traffic (bytes, summed over both cores where applicable)

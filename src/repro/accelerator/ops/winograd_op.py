@@ -22,12 +22,14 @@ The model captures the effects the paper's evaluation hinges on:
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from ...winograd.engines import RowByRowEngine, TapByTapEngine
 from ...winograd.transforms import WinogradTransform, get_transform
 from ..config import EngineConfig, SystemConfig
 from ..energy import compute_energy
-from ..profile import CycleBreakdown, LayerProfile, MemoryTraffic
-from .common import LayerWorkload, ceil_div
+from ..profile import LayerProfile, MemoryTraffic
+from .common import LayerWorkload, assemble_critical_path, ceil_div
 
 __all__ = ["run_winograd", "winograd_supported"]
 
@@ -38,8 +40,14 @@ def winograd_supported(workload: LayerWorkload) -> bool:
     return spec.kernel == 3 and spec.stride == 1 and spec.groups == 1
 
 
-def _build_engines(transform: WinogradTransform, core_cfg) -> dict[str, object]:
-    """Instantiate the three transformation-engine models from the config."""
+@lru_cache(maxsize=64)
+def _cached_engines(transform: WinogradTransform,
+                    input_cfg: EngineConfig, weight_cfg: EngineConfig,
+                    output_cfg: EngineConfig) -> dict[str, object]:
+    """Engine models per (transform, engine configs) — the sweeps in Table IV
+    and Table VII call :func:`run_winograd` for hundreds of layer shapes with
+    the same engines; rebuilding the shift-add cost models each time used to
+    dominate the sweep runtime."""
     def build(engine_cfg: EngineConfig, matrix) -> object:
         if engine_cfg.style == "tap_by_tap":
             return TapByTapEngine(matrix, pc=engine_cfg.pc, ps=engine_cfg.ps,
@@ -48,10 +56,16 @@ def _build_engines(transform: WinogradTransform, core_cfg) -> dict[str, object]:
         return RowByRowEngine(matrix, pc=engine_cfg.pc, ps=engine_cfg.ps, fast=fast)
 
     return {
-        "input": build(core_cfg.input_engine, transform.BT),
-        "weight": build(core_cfg.weight_engine, transform.G),
-        "output": build(core_cfg.output_engine, transform.AT),
+        "input": build(input_cfg, transform.BT),
+        "weight": build(weight_cfg, transform.G),
+        "output": build(output_cfg, transform.AT),
     }
+
+
+def _build_engines(transform: WinogradTransform, core_cfg) -> dict[str, object]:
+    """Instantiate (or fetch the cached) transformation-engine models."""
+    return _cached_engines(transform, core_cfg.input_engine,
+                           core_cfg.weight_engine, core_cfg.output_engine)
 
 
 def run_winograd(workload: LayerWorkload, system: SystemConfig,
@@ -135,24 +149,15 @@ def run_winograd(workload: LayerWorkload, system: SystemConfig,
     stage_times["IN_LOAD"] = max(stage_times["IN_LOAD"],
                                  (ifm_bytes * ifm_rereads + ofm_bytes) / bw
                                  - stage_times["OUT_STORE"])
-    bottleneck = max(stage_times, key=stage_times.get)
-    l2_block_bytes = core.memory("L1").size_bytes // 2
-    num_outer = max(8, ceil_div(int(ifm_bytes), l2_block_bytes))
-
-    breakdown = CycleBreakdown()
-    total = weight_phase + stage_times[bottleneck]
+    prologue = []
     if weight_phase > 0:
         denom = weight_load_cycles + wt_xform_cycles
         share_xform = wt_xform_cycles / denom if denom else 0.0
-        breakdown.add("WT_XFORM", weight_phase * share_xform)
-        breakdown.add("WT_LOAD", weight_phase * (1.0 - share_xform))
-    breakdown.add(bottleneck, stage_times[bottleneck])
-    for stage, time in stage_times.items():
-        if stage == bottleneck:
-            continue
-        fill = time / num_outer
-        breakdown.add(stage, fill)
-        total += fill
+        prologue = [("WT_XFORM", weight_phase * share_xform),
+                    ("WT_LOAD", weight_phase * (1.0 - share_xform))]
+    breakdown, total, bottleneck = assemble_critical_path(
+        stage_times, prologue, weight_phase,
+        ifm_bytes, core.memory("L1").size_bytes)
 
     # ----------------------------------------------------------------- #
     # Memory traffic (bytes, both cores)

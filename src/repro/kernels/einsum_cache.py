@@ -1,0 +1,30 @@
+"""Contraction-path caching for the einsum calls that survive in backends.
+
+``np.einsum(..., optimize=True)`` re-runs the path optimiser on every call,
+which costs more than the contraction itself for the small operand shapes the
+experiments use.  :func:`cached_einsum` memoises the optimised path per
+``(subscripts, shapes, dtypes)`` signature and replays it.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["cached_einsum"]
+
+
+@lru_cache(maxsize=512)
+def _contraction_path(subscripts: str, shapes: tuple, dtypes: tuple) -> tuple:
+    operands = [np.empty(shape, dtype=dtype) for shape, dtype in zip(shapes, dtypes)]
+    path, _ = np.einsum_path(subscripts, *operands, optimize=True)
+    return tuple(path)
+
+
+def cached_einsum(subscripts: str, *operands: np.ndarray) -> np.ndarray:
+    """``np.einsum`` with the optimised contraction path cached across calls."""
+    shapes = tuple(op.shape for op in operands)
+    dtypes = tuple(op.dtype.str for op in operands)
+    path = list(_contraction_path(subscripts, shapes, dtypes))
+    return np.einsum(subscripts, *operands, optimize=path)

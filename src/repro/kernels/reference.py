@@ -1,0 +1,150 @@
+"""Reference kernel backend: the seed implementations, kept verbatim.
+
+These are the generic ``np.einsum`` formulations and Python loops the
+reproduction shipped with (see the seed revisions of
+``repro/winograd/tiling.py``, ``repro/winograd/conv.py`` and
+``repro/nn/functional.py``).  They are intentionally frozen here so that the
+``fast`` backend can be equivalence-tested against them: any numerical
+divergence between the two backends is a bug in ``fast``, never a drift of
+this file.
+
+The only change relative to the seed is that the einsum contraction paths are
+memoised (:mod:`repro.kernels.einsum_cache`) — the contraction order is the
+one ``optimize=True`` picks, computed once per operand signature instead of
+on every call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .einsum_cache import cached_einsum
+from .registry import KernelBackend
+
+__all__ = ["BACKEND"]
+
+
+# --------------------------------------------------------------------------- #
+# Tap-wise contraction (seed: repro/winograd/conv.py)
+# --------------------------------------------------------------------------- #
+def tile_contract(tiles_w: np.ndarray, weight_w: np.ndarray) -> np.ndarray:
+    return cached_einsum("ncijab,ocab->noijab", tiles_w, weight_w)
+
+
+def tile_contract_dx(grad: np.ndarray, weight_w: np.ndarray) -> np.ndarray:
+    return cached_einsum("noijab,ocab->ncijab", grad, weight_w)
+
+
+def tile_contract_dw(grad: np.ndarray, tiles_w: np.ndarray) -> np.ndarray:
+    return cached_einsum("noijab,ncijab->ocab", grad, tiles_w)
+
+
+# --------------------------------------------------------------------------- #
+# Pair transforms (seed: broadcast matmul, e.g. ``BT @ tiles @ BT.T``)
+# --------------------------------------------------------------------------- #
+def apply_transform_pair(tiles: np.ndarray, left: np.ndarray,
+                         right: np.ndarray) -> np.ndarray:
+    return left @ tiles @ right
+
+
+# --------------------------------------------------------------------------- #
+# Tiling primitives (seed: repro/winograd/tiling.py)
+# --------------------------------------------------------------------------- #
+def extract_tiles(x_padded: np.ndarray, m: int, r: int) -> np.ndarray:
+    alpha = m + r - 1
+    n, c, hp, wp = x_padded.shape
+    n_h = (hp - (r - 1)) // m
+    n_w = (wp - (r - 1)) // m
+    s0, s1, s2, s3 = x_padded.strides
+    tiles = np.lib.stride_tricks.as_strided(
+        x_padded,
+        shape=(n, c, n_h, n_w, alpha, alpha),
+        strides=(s0, s1, s2 * m, s3 * m, s2, s3),
+        writeable=False,
+    )
+    return np.ascontiguousarray(tiles)
+
+
+def scatter_tiles_add(grad_tiles: np.ndarray, padded_shape: tuple[int, int, int, int],
+                      m: int, r: int) -> np.ndarray:
+    alpha = m + r - 1
+    out = np.zeros(padded_shape, dtype=grad_tiles.dtype)
+    n_h, n_w = grad_tiles.shape[2], grad_tiles.shape[3]
+    for i in range(n_h):
+        hs = i * m
+        for j in range(n_w):
+            ws = j * m
+            out[:, :, hs:hs + alpha, ws:ws + alpha] += grad_tiles[:, :, i, j]
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# im2col lowering and its GEMMs (seed: repro/nn/functional.py)
+# --------------------------------------------------------------------------- #
+def im2col(x: np.ndarray, kernel: tuple[int, int], stride: int = 1,
+           padding: int = 0) -> np.ndarray:
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    hp, wp = x.shape[2], x.shape[3]
+    out_h = (hp - kh) // stride + 1
+    out_w = (wp - kw) // stride + 1
+
+    s0, s1, s2, s3 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, out_h * out_w)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(cols: np.ndarray, input_shape: tuple[int, int, int, int],
+           kernel: tuple[int, int], stride: int = 1, padding: int = 0) -> np.ndarray:
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    hp, wp = h + 2 * padding, w + 2 * padding
+    out_h = (hp - kh) // stride + 1
+    out_w = (wp - kw) // stride + 1
+
+    x = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    cols_reshaped = cols.reshape(n, c, kh, kw, out_h, out_w)
+    for i in range(kh):
+        i_end = i + stride * out_h
+        for j in range(kw):
+            j_end = j + stride * out_w
+            x[:, :, i:i_end:stride, j:j_end:stride] += cols_reshaped[:, :, i, j]
+    if padding > 0:
+        x = x[:, :, padding:-padding, padding:-padding]
+    return x
+
+
+def conv2d_gemm(w2d: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    return cached_einsum("ok,nkp->nop", w2d, cols)
+
+
+def conv2d_gemm_dw(grad2d: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    return cached_einsum("nop,nkp->ok", grad2d, cols)
+
+
+def conv2d_gemm_dcols(w2d: np.ndarray, grad2d: np.ndarray) -> np.ndarray:
+    return cached_einsum("ok,nop->nkp", w2d, grad2d)
+
+
+BACKEND = KernelBackend(
+    name="reference",
+    tile_contract=tile_contract,
+    tile_contract_dx=tile_contract_dx,
+    tile_contract_dw=tile_contract_dw,
+    apply_transform_pair=apply_transform_pair,
+    extract_tiles=extract_tiles,
+    scatter_tiles_add=scatter_tiles_add,
+    im2col=im2col,
+    col2im=col2im,
+    conv2d_gemm=conv2d_gemm,
+    conv2d_gemm_dw=conv2d_gemm_dw,
+    conv2d_gemm_dcols=conv2d_gemm_dcols,
+)

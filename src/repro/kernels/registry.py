@@ -1,0 +1,156 @@
+"""Kernel backend registry and dispatch.
+
+Every numerically heavy primitive of the library (the tap-wise contraction,
+the Winograd pair transforms, tile extraction/scattering, and the im2col
+GEMMs) is routed through a :class:`KernelBackend`.  Two backends are
+registered by :mod:`repro.kernels`:
+
+* ``"reference"`` — the seed implementation (generic ``np.einsum`` plus
+  Python loops), kept verbatim so the fast path can be equivalence-tested
+  against it forever.
+* ``"fast"`` — batched-GEMM formulations that reach BLAS (the default).
+
+Selection, in decreasing precedence:
+
+1. a per-call ``backend=`` argument on the public entry points
+   (:func:`repro.winograd.conv.winograd_conv2d`, :func:`repro.nn.functional.conv2d`,
+   :func:`repro.quant.integer.integer_winograd_conv2d`, ...);
+2. a process-wide :func:`set_backend` / :func:`use_backend` override;
+3. the ``REPRO_KERNEL_BACKEND`` environment variable;
+4. the built-in default, ``"fast"``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "KernelBackend",
+    "register_backend",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "reset_backend",
+    "use_backend",
+    "ENV_VAR",
+    "DEFAULT_BACKEND",
+]
+
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+DEFAULT_BACKEND = "fast"
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """Bundle of kernel primitives sharing one implementation strategy.
+
+    All members are plain functions over numpy arrays (no autograd); the
+    autograd layer wires them into forward/backward closures.  Integer inputs
+    must be handled exactly (the tap contraction models the accelerator's
+    integer Cube Unit), so every member is dtype-preserving.
+    """
+
+    name: str
+
+    # Winograd tap-wise contraction (N,Cin,nH,nW,a,a) x (Cout,Cin,a,a)
+    # -> (N,Cout,nH,nW,a,a), plus its two adjoints.
+    tile_contract: Callable
+    tile_contract_dx: Callable
+    tile_contract_dw: Callable
+
+    # Pair transform ``left @ t @ right`` over the trailing (rows, cols) axes,
+    # broadcast over all leading axes (used for BT x B, G f GT, AT y A).
+    apply_transform_pair: Callable
+
+    # Tiling primitives.
+    extract_tiles: Callable
+    scatter_tiles_add: Callable
+
+    # im2col lowering and its GEMMs.
+    im2col: Callable
+    col2im: Callable
+    conv2d_gemm: Callable          # (O,K) x (N,K,P)   -> (N,O,P)
+    conv2d_gemm_dw: Callable       # (N,O,P) x (N,K,P) -> (O,K)
+    conv2d_gemm_dcols: Callable    # (O,K) x (N,O,P)   -> (N,K,P)
+
+    # Optional fused Winograd forward (padded input -> assembled output).
+    # Backends may provide this to keep the whole pipeline in an internal
+    # tap-major layout; ``None`` means "compose the primitives above".
+    winograd_forward: Callable | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"KernelBackend({self.name!r})"
+
+
+_BACKENDS: dict[str, KernelBackend] = {}
+_ACTIVE: KernelBackend | None = None
+
+
+def register_backend(backend: KernelBackend) -> KernelBackend:
+    """Add ``backend`` to the registry (last registration wins on name clash)."""
+    _BACKENDS[backend.name.lower()] = backend
+    return backend
+
+
+def available_backends() -> list[str]:
+    """Names of all registered backends, sorted."""
+    return sorted(_BACKENDS)
+
+
+def _lookup(name: str) -> KernelBackend:
+    key = name.strip().lower()
+    if key not in _BACKENDS:
+        raise KeyError(
+            f"unknown kernel backend {name!r}; available: {available_backends()}")
+    return _BACKENDS[key]
+
+
+def _resolve_default() -> KernelBackend:
+    name = os.environ.get(ENV_VAR, "").strip() or DEFAULT_BACKEND
+    return _lookup(name)
+
+
+def get_backend(backend: str | KernelBackend | None = None) -> KernelBackend:
+    """Resolve ``backend`` to a :class:`KernelBackend` instance.
+
+    ``None`` returns the process-wide active backend (resolving the
+    ``REPRO_KERNEL_BACKEND`` environment variable on first use); a string is
+    looked up in the registry; an instance is returned unchanged.  This is the
+    single dispatch point every per-call ``backend=`` argument funnels into.
+    """
+    global _ACTIVE
+    if backend is None:
+        if _ACTIVE is None:
+            _ACTIVE = _resolve_default()
+        return _ACTIVE
+    if isinstance(backend, KernelBackend):
+        return backend
+    return _lookup(backend)
+
+
+def set_backend(backend: str | KernelBackend) -> KernelBackend:
+    """Set the process-wide active backend; returns the resolved instance."""
+    global _ACTIVE
+    _ACTIVE = get_backend(backend)
+    return _ACTIVE
+
+
+def reset_backend() -> None:
+    """Drop any override so the next :func:`get_backend` re-reads the env var."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextlib.contextmanager
+def use_backend(backend: str | KernelBackend):
+    """Context manager that temporarily switches the active backend."""
+    global _ACTIVE
+    prev = _ACTIVE
+    _ACTIVE = get_backend(backend)
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = prev

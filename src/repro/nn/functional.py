@@ -6,12 +6,17 @@ unrolled into a matrix and the convolution becomes a single MatMul.  It is the
 reference against which the Winograd convolutions in
 :mod:`repro.winograd.conv` are verified (they must agree to numerical
 precision in the float case).
+
+The im2col lowering and its three GEMMs (forward, dW, dX) dispatch through
+:mod:`repro.kernels`; ``conv2d`` / ``conv2d_numpy`` accept an optional
+``backend=`` argument for per-call backend selection.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..kernels import KernelBackend, get_backend
 from .tensor import Tensor, as_tensor
 
 __all__ = [
@@ -98,13 +103,15 @@ def col2im(cols: np.ndarray, input_shape: tuple[int, int, int, int],
 
 
 def conv2d_numpy(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None,
-                 stride: int = 1, padding: int = 0) -> np.ndarray:
+                 stride: int = 1, padding: int = 0,
+                 backend: str | KernelBackend | None = None) -> np.ndarray:
     """Plain numpy im2col convolution (no autograd).  Reference implementation."""
+    be = get_backend(backend)
     n = x.shape[0]
     cout, cin, kh, kw = weight.shape
-    cols = im2col(x, (kh, kw), stride, padding)
+    cols = be.im2col(x, (kh, kw), stride, padding)
     w2d = weight.reshape(cout, cin * kh * kw)
-    out = np.einsum("ok,nkp->nop", w2d, cols)
+    out = be.conv2d_gemm(w2d, cols)
     out_h = (x.shape[2] + 2 * padding - kh) // stride + 1
     out_w = (x.shape[3] + 2 * padding - kw) // stride + 1
     out = out.reshape(n, cout, out_h, out_w)
@@ -117,11 +124,14 @@ def conv2d_numpy(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = No
 # Differentiable ops
 # --------------------------------------------------------------------------- #
 def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
-           stride: int = 1, padding: int = 0) -> Tensor:
+           stride: int = 1, padding: int = 0,
+           backend: str | KernelBackend | None = None) -> Tensor:
     """Differentiable 2-D convolution via im2col lowering.
 
-    Shapes follow the usual NCHW / OIHW convention.
+    Shapes follow the usual NCHW / OIHW convention.  ``backend`` selects the
+    kernel backend for the forward GEMM and both backward GEMMs of this call.
     """
+    be = get_backend(backend)
     x = as_tensor(x)
     weight = as_tensor(weight)
     n, cin, h, w = x.shape
@@ -129,11 +139,11 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
     if cin != cin_w:
         raise ValueError(f"channel mismatch: input has {cin}, weight expects {cin_w}")
 
-    cols = im2col(x.data, (kh, kw), stride, padding)
+    cols = be.im2col(x.data, (kh, kw), stride, padding)
     w2d = weight.data.reshape(cout, cin * kh * kw)
     out_h = (h + 2 * padding - kh) // stride + 1
     out_w = (w + 2 * padding - kw) // stride + 1
-    out_data = np.einsum("ok,nkp->nop", w2d, cols).reshape(n, cout, out_h, out_w)
+    out_data = be.conv2d_gemm(w2d, cols).reshape(n, cout, out_h, out_w)
     if bias is not None:
         out_data = out_data + bias.data.reshape(1, cout, 1, 1)
 
@@ -142,10 +152,10 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
     def _backward(grad: np.ndarray):
         grad2d = grad.reshape(n, cout, out_h * out_w)
         # dW: sum over batch of grad @ cols^T
-        dw = np.einsum("nop,nkp->ok", grad2d, cols).reshape(weight.shape)
+        dw = be.conv2d_gemm_dw(grad2d, cols).reshape(weight.shape)
         # dX: w^T @ grad, folded back with col2im
-        dcols = np.einsum("ok,nop->nkp", w2d, grad2d)
-        dx = col2im(dcols, (n, cin, h, w), (kh, kw), stride, padding)
+        dcols = be.conv2d_gemm_dcols(w2d, grad2d)
+        dx = be.col2im(dcols, (n, cin, h, w), (kh, kw), stride, padding)
         if bias is None:
             return (dx, dw)
         db = grad.sum(axis=(0, 2, 3))

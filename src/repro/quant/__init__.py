@@ -4,7 +4,8 @@ from .error import (QuantErrorResult, error_histogram, mean_log2_error,
                     optimal_gamma, quantize_mu_sigma, relative_error,
                     spatial_quant_error, winograd_quant_error)
 from .integer import (TapwiseScales, accumulator_bits_required,
-                      calibrate_tapwise_scales, integer_winograd_conv2d)
+                      calibrate_tapwise_scales, integer_winograd_conv2d,
+                      quantize_dequantize_spatial, winograd_domain_tensors)
 from .kd import DistillationLoss
 from .observer import (Granularity, MinMaxObserver, PercentileObserver,
                        RunningMaxObserver, reduction_axes, scale_shape)
@@ -32,6 +33,7 @@ __all__ = [
     "QatConfig", "QatTrainer", "TrainResult", "convert_model", "calibrate_model",
     "freeze_calibration", "enable_learned_scales", "evaluate",
     "TapwiseScales", "calibrate_tapwise_scales", "integer_winograd_conv2d",
+    "quantize_dequantize_spatial", "winograd_domain_tensors",
     "accumulator_bits_required",
     "prune_winograd_weights", "sparsity_statistics", "WinogradSparsityStats",
     "effective_mac_reduction",

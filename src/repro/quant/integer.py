@@ -11,6 +11,14 @@ values (int8/int10 operands, int32 accumulation — modelled with int64 for
 headroom), and the only real-valued step is the single rescale with
 ``S_BG = S_B ⊙ S_G`` before the back-transformation, which collapses to a
 shift when the scales are powers of two.
+
+The integer path is integral end-to-end: padding and tile extraction are
+dtype-preserving, and the input transform uses the cached integer ``BT``
+(:func:`repro.winograd.transforms.integer_transform_matrices`), so no float64
+detour happens before the single rescale.  All tensor contractions dispatch
+through :mod:`repro.kernels` (the ``fast`` backend runs the tap-wise
+accumulation as ``alpha²`` batched integer GEMMs, bit-exact with respect to
+the reference einsum).
 """
 
 from __future__ import annotations
@@ -19,11 +27,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..winograd.tiling import assemble_output_tiles, extract_tiles, pad_for_tiling
-from ..winograd.transforms import WinogradTransform
+from ..kernels import KernelBackend, get_backend
+from ..winograd.tiling import assemble_output_tiles, pad_for_tiling
+from ..winograd.transforms import WinogradTransform, integer_transform_matrices
 from .quantizer import compute_scale, quant_range
 
 __all__ = ["TapwiseScales", "calibrate_tapwise_scales", "integer_winograd_conv2d",
+           "quantize_dequantize_spatial", "winograd_domain_tensors",
            "accumulator_bits_required"]
 
 
@@ -54,22 +64,46 @@ class TapwiseScales:
         return self.input_wino * self.weight_wino
 
 
+def quantize_dequantize_spatial(values: np.ndarray, scale: float,
+                                bits: int) -> np.ndarray:
+    """Fake-quantize ``values`` with a scalar spatial-domain scale (Eq. 2)."""
+    return np.clip(np.rint(values / scale), *quant_range(bits)) * scale
+
+
+def winograd_domain_tensors(x_hat: np.ndarray, w_hat: np.ndarray,
+                            transform: WinogradTransform, padding: int = 1,
+                            backend: str | KernelBackend | None = None,
+                            ) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """Map spatial-domain tensors into the Winograd domain.
+
+    Shared between :func:`calibrate_tapwise_scales` and the fake-quantization
+    analyses: returns ``(BT x B, G f GT, out_h, out_w)`` computed with the
+    active kernel backend.
+    """
+    be = get_backend(backend)
+    padded, out_h, out_w = pad_for_tiling(x_hat, transform.m, transform.r, padding)
+    tiles = be.extract_tiles(padded, transform.m, transform.r)
+    tiles_w = be.apply_transform_pair(tiles, transform.BT, transform.B)
+    weight_w = be.apply_transform_pair(w_hat, transform.G, transform.G.T)
+    return tiles_w, weight_w, out_h, out_w
+
+
 def calibrate_tapwise_scales(x: np.ndarray, weight: np.ndarray,
                              transform: WinogradTransform,
                              spatial_bits: int = 8, wino_bits: int = 8,
                              power_of_two: bool = False,
-                             padding: int = 1) -> TapwiseScales:
+                             padding: int = 1,
+                             backend: str | KernelBackend | None = None,
+                             ) -> TapwiseScales:
     """Derive tap-wise scales from one batch of data (max calibration, Eq. 2)."""
     act_scale = float(compute_scale(np.abs(x).max(), spatial_bits))
     weight_scale = float(compute_scale(np.abs(weight).max(), spatial_bits))
 
-    x_hat = np.clip(np.rint(x / act_scale), *quant_range(spatial_bits)) * act_scale
-    w_hat = np.clip(np.rint(weight / weight_scale), *quant_range(spatial_bits)) * weight_scale
+    x_hat = quantize_dequantize_spatial(x, act_scale, spatial_bits)
+    w_hat = quantize_dequantize_spatial(weight, weight_scale, spatial_bits)
 
-    padded, _, _ = pad_for_tiling(x_hat, transform.m, transform.r, padding)
-    tiles = extract_tiles(padded, transform.m, transform.r)
-    tiles_w = transform.BT @ tiles @ transform.BT.T
-    weight_w = transform.G @ w_hat @ transform.G.T
+    tiles_w, weight_w, _, _ = winograd_domain_tensors(x_hat, w_hat, transform,
+                                                      padding, backend)
 
     input_max = np.abs(tiles_w).max(axis=(0, 1, 2, 3))
     weight_max = np.abs(weight_w).max(axis=(0, 1))
@@ -87,15 +121,16 @@ def integer_winograd_conv2d(x: np.ndarray, weight: np.ndarray,
                             bias: np.ndarray | None = None,
                             spatial_bits: int = 8, wino_bits: int = 8,
                             padding: int = 1,
-                            return_stats: bool = False):
+                            return_stats: bool = False,
+                            backend: str | KernelBackend | None = None):
     """Run the tap-wise quantized Winograd convolution with integer arithmetic.
 
     Returns the floating-point output (after the final de-quantization) and,
     optionally, statistics about the integer intermediates (used to check the
     accumulator bit widths the hardware needs).
     """
+    be = get_backend(backend)
     m, r = transform.m, transform.r
-    n = x.shape[0]
     cout = weight.shape[0]
     qmin_s, qmax_s = quant_range(spatial_bits)
     qmin_w, qmax_w = quant_range(wino_bits)
@@ -106,11 +141,16 @@ def integer_winograd_conv2d(x: np.ndarray, weight: np.ndarray,
     w_int = np.clip(np.rint(weight / scales.weight_spatial), qmin_s, qmax_s).astype(np.int64)
 
     # Input transform: BT x B computed exactly on integers (BT is integer for
-    # F2/F4), then requantized tap-wise to `wino_bits`.
-    padded, out_h, out_w = pad_for_tiling(x_int.astype(np.float64), m, r, padding)
-    tiles = extract_tiles(padded, m, r)
-    bt_int = np.rint(transform.BT).astype(np.int64)
-    tiles_w_exact = (bt_int @ tiles.astype(np.int64) @ bt_int.T)
+    # F2/F4; the cached int64 variant keeps the path integral end-to-end),
+    # then requantized tap-wise to `wino_bits`.
+    padded, out_h, out_w = pad_for_tiling(x_int, m, r, padding)
+    tiles = be.extract_tiles(padded, m, r)
+    bt_int = integer_transform_matrices(transform).BT
+    if bt_int is None:
+        raise ValueError(
+            f"transform {transform.name or transform} has a non-integer BT; "
+            "the integer simulation supports F2/F4-style integral input transforms")
+    tiles_w_exact = be.apply_transform_pair(tiles, bt_int, bt_int.T)
     # Requantization: value_real = tiles_w_exact * act_spatial; divide by S_B.
     requant_ratio = scales.act_spatial / scales.input_wino
     tiles_w_q = np.clip(np.rint(tiles_w_exact * requant_ratio), qmin_w, qmax_w).astype(np.int64)
@@ -118,16 +158,16 @@ def integer_winograd_conv2d(x: np.ndarray, weight: np.ndarray,
     # Weight transform: G f GT evaluated on the dequantized int8 weights, then
     # requantized tap-wise (this is what the WT_XFORM engine produces).
     w_hat = w_int.astype(np.float64) * scales.weight_spatial
-    weight_w_real = transform.G @ w_hat @ transform.G.T
+    weight_w_real = be.apply_transform_pair(w_hat, transform.G, transform.G.T)
     weight_w_q = np.clip(np.rint(weight_w_real / scales.weight_wino), qmin_w, qmax_w
                          ).astype(np.int64)
 
     # Tap-wise batched MatMul with integer accumulation (the Cube Unit).
-    acc = np.einsum("ncijab,ocab->noijab", tiles_w_q, weight_w_q, optimize=True)
+    acc = be.tile_contract(tiles_w_q, weight_w_q)
 
     # Single rescale with S_BG, then the output back-transformation.
     prod_real = acc.astype(np.float64) * scales.output_wino
-    out_tiles = transform.AT @ prod_real @ transform.AT.T
+    out_tiles = be.apply_transform_pair(prod_real, transform.AT, transform.A)
     out = assemble_output_tiles(out_tiles, out_h, out_w)
     if bias is not None:
         out = out + bias.reshape(1, cout, 1, 1)

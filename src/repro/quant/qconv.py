@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels import KernelBackend
 from ..nn import functional as F
 from ..nn import init
 from ..nn.module import Module, Parameter
@@ -35,6 +36,7 @@ class QuantConv2d(Module):
                  stride: int = 1, padding: int = 0, bias: bool = True,
                  weight_bits: int = 8, act_bits: int = 8,
                  per_channel_weights: bool = False,
+                 backend: str | KernelBackend | None = None,
                  rng: np.random.Generator | None = None):
         super().__init__()
         self.in_channels = in_channels
@@ -42,6 +44,7 @@ class QuantConv2d(Module):
         self.kernel_size = kernel_size
         self.stride = stride
         self.padding = padding
+        self.backend = backend
         shape = (out_channels, in_channels, kernel_size, kernel_size)
         self.weight = Parameter(init.kaiming_normal(shape, rng))
         self.bias = Parameter(init.zeros((out_channels,))) if bias else None
@@ -52,16 +55,19 @@ class QuantConv2d(Module):
     def forward(self, x: Tensor) -> Tensor:
         xq = self.act_quant(x)
         wq = self.weight_quant(self.weight)
-        return F.conv2d(xq, wq, self.bias, stride=self.stride, padding=self.padding)
+        return F.conv2d(xq, wq, self.bias, stride=self.stride,
+                        padding=self.padding, backend=self.backend)
 
     @classmethod
     def from_float(cls, conv, weight_bits: int = 8, act_bits: int = 8,
-                   per_channel_weights: bool = False) -> "QuantConv2d":
+                   per_channel_weights: bool = False,
+                   backend: str | KernelBackend | None = None) -> "QuantConv2d":
         """Build a quantized copy of a float :class:`repro.nn.Conv2d`."""
         layer = cls(conv.in_channels, conv.out_channels, conv.kernel_size,
                     stride=conv.stride, padding=conv.padding,
                     bias=conv.bias is not None, weight_bits=weight_bits,
-                    act_bits=act_bits, per_channel_weights=per_channel_weights)
+                    act_bits=act_bits, per_channel_weights=per_channel_weights,
+                    backend=backend)
         layer.weight.data = conv.weight.data.copy()
         if conv.bias is not None:
             layer.bias.data = conv.bias.data.copy()
@@ -94,6 +100,9 @@ class QuantWinogradConv2d(Module):
     winograd_aware:
         If false, the layer trains on the standard (im2col) path and only uses
         Winograd at evaluation time — the "not Winograd-aware" ablation.
+    backend:
+        Kernel backend override for this layer's convolutions (see
+        :mod:`repro.kernels`); ``None`` follows the process-wide selection.
     """
 
     def __init__(self, in_channels: int, out_channels: int, kernel_size: int = 3,
@@ -104,6 +113,7 @@ class QuantWinogradConv2d(Module):
                  granularity: Granularity | str | None = None,
                  power_of_two: bool = False, learned_log2: bool = False,
                  winograd_aware: bool = True,
+                 backend: str | KernelBackend | None = None,
                  rng: np.random.Generator | None = None):
         super().__init__()
         if kernel_size != 3:
@@ -122,6 +132,7 @@ class QuantWinogradConv2d(Module):
         self.winograd_aware = winograd_aware
         self.wino_bits = wino_bits
         self.spatial_bits = spatial_bits
+        self.backend = backend
 
         shape = (out_channels, in_channels, kernel_size, kernel_size)
         self.weight = Parameter(init.kaiming_normal(shape, rng))
@@ -191,12 +202,14 @@ class QuantWinogradConv2d(Module):
 
         if not self.winograd_aware and self.training:
             # Train on the standard path; Winograd only used at inference.
-            return F.conv2d(x, weight, self.bias, stride=1, padding=self.padding)
+            return F.conv2d(x, weight, self.bias, stride=1, padding=self.padding,
+                            backend=self.backend)
 
         return winograd_conv2d_tensor(
             x, weight, self.transform, bias=self.bias, padding=self.padding,
             input_tile_hook=self.input_wino_quant,
             weight_tile_hook=self.weight_wino_quant,
+            backend=self.backend,
         )
 
     # ------------------------------------------------------------------ #

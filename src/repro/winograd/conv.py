@@ -12,6 +12,13 @@ Two entry points are provided:
   fake-quantization nodes through these hooks, so gradients propagate through
   the Winograd domain exactly as in the paper's Winograd-aware training
   (Section III-A).
+
+All numerically heavy steps (tile extraction, the ``BT/G/AT`` pair
+transforms, the tap-wise contraction, and the scatter-add adjoint) dispatch
+through :mod:`repro.kernels`.  Every public entry point takes an optional
+``backend=`` argument (``"fast"``/``"reference"``/a
+:class:`~repro.kernels.KernelBackend`) for per-call opt-out; by default the
+process-wide backend is used (``fast`` unless overridden).
 """
 
 from __future__ import annotations
@@ -20,9 +27,9 @@ from typing import Callable
 
 import numpy as np
 
+from ..kernels import KernelBackend, get_backend
 from ..nn.tensor import Tensor, as_tensor
-from .tiling import (assemble_output_tiles, extract_tiles, pad_for_tiling,
-                     scatter_tiles_add)
+from .tiling import assemble_output_tiles, pad_for_tiling
 from .transforms import WinogradTransform, winograd_f4
 
 __all__ = [
@@ -31,6 +38,7 @@ __all__ = [
     "winograd_output_shape",
     "extract_input_tiles_tensor",
     "tile_contract_tensor",
+    "transform_pair_tensor",
     "assemble_output_tensor",
 ]
 
@@ -49,7 +57,8 @@ def winograd_output_shape(h: int, w: int, r: int = 3, padding: int = 1,
 def winograd_conv2d(x: np.ndarray, weight: np.ndarray,
                     transform: WinogradTransform | None = None,
                     bias: np.ndarray | None = None,
-                    padding: int = 1) -> np.ndarray:
+                    padding: int = 1,
+                    backend: str | KernelBackend | None = None) -> np.ndarray:
     """Unit-stride 2-D convolution computed with the Winograd algorithm.
 
     Parameters
@@ -64,7 +73,10 @@ def winograd_conv2d(x: np.ndarray, weight: np.ndarray,
         Optional per-output-channel bias.
     padding:
         Symmetric zero padding (1 gives "same" output for 3x3 kernels).
+    backend:
+        Kernel backend override for this call (see :mod:`repro.kernels`).
     """
+    be = get_backend(backend)
     transform = transform or winograd_f4()
     m, r, alpha = transform.m, transform.r, transform.alpha
     if weight.shape[2] != r or weight.shape[3] != r:
@@ -73,14 +85,18 @@ def winograd_conv2d(x: np.ndarray, weight: np.ndarray,
     cout = weight.shape[0]
 
     padded, out_h, out_w = pad_for_tiling(x, m, r, padding)
-    tiles = extract_tiles(padded, m, r)                     # (N,Cin,nH,nW,a,a)
-    tiles_w = transform.BT @ tiles @ transform.BT.T          # input transform
-    weight_w = transform.G @ weight @ transform.G.T          # (Cout,Cin,a,a)
+    if be.winograd_forward is not None:
+        # Fused tap-major pipeline (the fast backend's whole-layer kernel).
+        out = be.winograd_forward(padded, weight, transform, out_h, out_w)
+    else:
+        tiles = be.extract_tiles(padded, m, r)                      # (N,Cin,nH,nW,a,a)
+        tiles_w = be.apply_transform_pair(tiles, transform.BT, transform.B)
+        weight_w = be.apply_transform_pair(weight, transform.G, transform.G.T)
 
-    # Tap-wise batched MatMul: accumulate over input channels.
-    prod = np.einsum("ncijab,ocab->noijab", tiles_w, weight_w, optimize=True)
-    out_tiles = transform.AT @ prod @ transform.AT.T         # back-transform
-    out = assemble_output_tiles(out_tiles, out_h, out_w)
+        # Tap-wise batched MatMul: accumulate over input channels.
+        prod = be.tile_contract(tiles_w, weight_w)
+        out_tiles = be.apply_transform_pair(prod, transform.AT, transform.A)
+        out = assemble_output_tiles(out_tiles, out_h, out_w)
     if bias is not None:
         out = out + bias.reshape(1, cout, 1, 1)
     return out
@@ -90,21 +106,24 @@ def winograd_conv2d(x: np.ndarray, weight: np.ndarray,
 # Autograd building blocks
 # --------------------------------------------------------------------------- #
 def extract_input_tiles_tensor(x: Tensor, transform: WinogradTransform,
-                               padding: int = 1) -> tuple[Tensor, int, int]:
+                               padding: int = 1,
+                               backend: str | KernelBackend | None = None,
+                               ) -> tuple[Tensor, int, int]:
     """Differentiable tile extraction.
 
     Returns the tiles tensor ``(N, Cin, nH, nW, alpha, alpha)`` together with
     the true convolution output size for the later crop.
     """
+    be = get_backend(backend)
     x = as_tensor(x)
     m, r = transform.m, transform.r
     padded, out_h, out_w = pad_for_tiling(x.data, m, r, padding)
     padded_shape = padded.shape
-    tiles = extract_tiles(padded, m, r)
+    tiles = be.extract_tiles(padded, m, r)
     orig_shape = x.shape
 
     def _backward(grad: np.ndarray):
-        grad_padded = scatter_tiles_add(grad, padded_shape, m, r)
+        grad_padded = be.scatter_tiles_add(grad, padded_shape, m, r)
         h, w = orig_shape[2], orig_shape[3]
         dx = grad_padded[:, :, padding:padding + h, padding:padding + w]
         return (dx,)
@@ -112,7 +131,8 @@ def extract_input_tiles_tensor(x: Tensor, transform: WinogradTransform,
     return Tensor.from_op(tiles, (x,), _backward), out_h, out_w
 
 
-def tile_contract_tensor(input_tiles: Tensor, weight_tiles: Tensor) -> Tensor:
+def tile_contract_tensor(input_tiles: Tensor, weight_tiles: Tensor,
+                         backend: str | KernelBackend | None = None) -> Tensor:
     """Tap-wise multiply-accumulate over input channels.
 
     ``input_tiles``: ``(N, Cin, nH, nW, alpha, alpha)``
@@ -120,19 +140,41 @@ def tile_contract_tensor(input_tiles: Tensor, weight_tiles: Tensor) -> Tensor:
     returns ``(N, Cout, nH, nW, alpha, alpha)``.
 
     This is the operation the accelerator maps onto the Cube Unit as a batched
-    MatMul (one independent MatMul per tap).
+    MatMul (one independent MatMul per tap); the ``fast`` backend executes it
+    exactly that way — ``alpha²`` batched GEMMs — for the forward pass and
+    both adjoints.
     """
+    be = get_backend(backend)
     input_tiles = as_tensor(input_tiles)
     weight_tiles = as_tensor(weight_tiles)
     xw, ww = input_tiles.data, weight_tiles.data
-    out = np.einsum("ncijab,ocab->noijab", xw, ww, optimize=True)
+    out = be.tile_contract(xw, ww)
 
     def _backward(grad: np.ndarray):
-        dx = np.einsum("noijab,ocab->ncijab", grad, ww, optimize=True)
-        dw = np.einsum("noijab,ncijab->ocab", grad, xw, optimize=True)
+        dx = be.tile_contract_dx(grad, ww)
+        dw = be.tile_contract_dw(grad, xw)
         return (dx, dw)
 
     return Tensor.from_op(out, (input_tiles, weight_tiles), _backward)
+
+
+def transform_pair_tensor(t: Tensor, left: np.ndarray, right: np.ndarray,
+                          backend: str | KernelBackend | None = None) -> Tensor:
+    """Differentiable ``left @ t @ right`` over the trailing tile axes.
+
+    ``left`` and ``right`` are constant (non-trainable) transform matrices;
+    the adjoint of ``y = L t R`` is ``dt = Lᵀ g Rᵀ``.  Dispatching through
+    the backend lets the fast path fold the whole batch into two GEMMs
+    instead of one tiny matmul per tile.
+    """
+    be = get_backend(backend)
+    t = as_tensor(t)
+    data = be.apply_transform_pair(t.data, left, right)
+
+    def _backward(grad: np.ndarray):
+        return (be.apply_transform_pair(grad, left.T, right.T),)
+
+    return Tensor.from_op(data, (t,), _backward)
 
 
 def assemble_output_tensor(out_tiles: Tensor, out_h: int, out_w: int) -> Tensor:
@@ -151,22 +193,14 @@ def assemble_output_tensor(out_tiles: Tensor, out_h: int, out_w: int) -> Tensor:
     return Tensor.from_op(data, (out_tiles,), _backward)
 
 
-def _matmul_const_left(const: np.ndarray, tensor: Tensor) -> Tensor:
-    """``const @ tensor`` where ``const`` is a non-trainable matrix."""
-    return as_tensor(Tensor(const)) @ tensor
-
-
-def _matmul_const_right(tensor: Tensor, const: np.ndarray) -> Tensor:
-    return tensor @ Tensor(const)
-
-
 def winograd_conv2d_tensor(x: Tensor, weight: Tensor,
                            transform: WinogradTransform | None = None,
                            bias: Tensor | None = None,
                            padding: int = 1,
                            input_tile_hook: Hook | None = None,
                            weight_tile_hook: Hook | None = None,
-                           product_hook: Hook | None = None) -> Tensor:
+                           product_hook: Hook | None = None,
+                           backend: str | KernelBackend | None = None) -> Tensor:
     """Differentiable Winograd convolution with quantization hooks.
 
     The hooks receive the Winograd-domain tensors and must return tensors of
@@ -177,26 +211,30 @@ def winograd_conv2d_tensor(x: Tensor, weight: Tensor,
     * ``product_hook``     — applied to the accumulated products before the
       output back-transform (shape ``N,Cout,nH,nW,a,a``); this is where the
       tap-wise rescaling ``S_BG`` of the paper's quantization scheme lives.
+
+    ``backend`` selects the kernel backend for every step of this call (the
+    forward *and* the recorded backward closures).
     """
+    be = get_backend(backend)
     transform = transform or winograd_f4()
     x = as_tensor(x)
     weight = as_tensor(weight)
     cout = weight.shape[0]
 
-    tiles, out_h, out_w = extract_input_tiles_tensor(x, transform, padding)
-    tiles_w = _matmul_const_left(transform.BT, _matmul_const_right(tiles, transform.B))
-    weight_w = _matmul_const_left(transform.G, _matmul_const_right(weight, transform.G.T))
+    tiles, out_h, out_w = extract_input_tiles_tensor(x, transform, padding, backend=be)
+    tiles_w = transform_pair_tensor(tiles, transform.BT, transform.B, backend=be)
+    weight_w = transform_pair_tensor(weight, transform.G, transform.G.T, backend=be)
 
     if input_tile_hook is not None:
         tiles_w = input_tile_hook(tiles_w)
     if weight_tile_hook is not None:
         weight_w = weight_tile_hook(weight_w)
 
-    prod = tile_contract_tensor(tiles_w, weight_w)
+    prod = tile_contract_tensor(tiles_w, weight_w, backend=be)
     if product_hook is not None:
         prod = product_hook(prod)
 
-    out_tiles = _matmul_const_left(transform.AT, _matmul_const_right(prod, transform.A))
+    out_tiles = transform_pair_tensor(prod, transform.AT, transform.A, backend=be)
     out = assemble_output_tensor(out_tiles, out_h, out_w)
     if bias is not None:
         out = out + bias.reshape(1, cout, 1, 1)

@@ -33,6 +33,10 @@ def pad_for_tiling(x: np.ndarray, m: int, r: int, padding: int) -> tuple[np.ndar
 
     Returns the padded array together with the convolution output size
     (before Winograd rounding), which is needed to crop the assembled result.
+
+    The dtype of ``x`` is preserved — integer feature maps stay integer, so
+    the int-only simulation path (:mod:`repro.quant.integer`) never has to
+    detour through float64 just to pad.
     """
     n, c, h, w = x.shape
     out_h = h + 2 * padding - r + 1
@@ -50,7 +54,8 @@ def pad_for_tiling(x: np.ndarray, m: int, r: int, padding: int) -> tuple[np.ndar
     return padded, out_h, out_w
 
 
-def extract_tiles(x_padded: np.ndarray, m: int, r: int) -> np.ndarray:
+def extract_tiles(x_padded: np.ndarray, m: int, r: int,
+                  copy: bool = True) -> np.ndarray:
     """Extract overlapping ``alpha x alpha`` tiles with stride ``m``.
 
     Parameters
@@ -58,11 +63,16 @@ def extract_tiles(x_padded: np.ndarray, m: int, r: int) -> np.ndarray:
     x_padded:
         Already-padded input of shape ``(N, C, Hp, Wp)`` where
         ``Hp = n_h * m + r - 1``.
+    copy:
+        When true (default), the strided view is materialised as a contiguous
+        array callers may mutate safely.  When false, the read-only view is
+        returned directly — the cheap option when the consumer only reads
+        (e.g. feeds a GEMM, which buffers its operands anyway; the kernel
+        backends carry their own equivalents of this no-copy path).
 
     Returns
     -------
-    ndarray of shape ``(N, C, n_h, n_w, alpha, alpha)`` (a view is copied so
-    callers may mutate it safely).
+    ndarray of shape ``(N, C, n_h, n_w, alpha, alpha)``.
     """
     alpha = m + r - 1
     n, c, hp, wp = x_padded.shape
@@ -75,22 +85,19 @@ def extract_tiles(x_padded: np.ndarray, m: int, r: int) -> np.ndarray:
         strides=(s0, s1, s2 * m, s3 * m, s2, s3),
         writeable=False,
     )
-    return np.ascontiguousarray(tiles)
+    return np.ascontiguousarray(tiles) if copy else tiles
 
 
 def scatter_tiles_add(grad_tiles: np.ndarray, padded_shape: tuple[int, int, int, int],
                       m: int, r: int) -> np.ndarray:
-    """Adjoint of :func:`extract_tiles`: scatter-add overlapping tiles back."""
-    alpha = m + r - 1
-    n, c, hp, wp = padded_shape
-    out = np.zeros(padded_shape, dtype=grad_tiles.dtype)
-    n_h, n_w = grad_tiles.shape[2], grad_tiles.shape[3]
-    for i in range(n_h):
-        hs = i * m
-        for j in range(n_w):
-            ws = j * m
-            out[:, :, hs:hs + alpha, ws:ws + alpha] += grad_tiles[:, :, i, j]
-    return out
+    """Adjoint of :func:`extract_tiles`: scatter-add overlapping tiles back.
+
+    Dispatches to the active kernel backend; the ``fast`` backend replaces
+    the historical ``n_h x n_w`` Python double loop with a handful of strided
+    block adds (see :func:`repro.kernels.fast.scatter_tiles_add`).
+    """
+    from ..kernels import get_backend
+    return get_backend().scatter_tiles_add(grad_tiles, padded_shape, m, r)
 
 
 def assemble_output_tiles(out_tiles: np.ndarray, out_h: int, out_w: int) -> np.ndarray:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
+from functools import lru_cache
 
 import numpy as np
 
@@ -19,10 +20,12 @@ from .cook_toom import cook_toom_matrices
 
 __all__ = [
     "WinogradTransform",
+    "IntegerTransformMatrices",
     "winograd_f2",
     "winograd_f4",
     "winograd_f6",
     "get_transform",
+    "integer_transform_matrices",
     "transform_input_tile",
     "transform_weight",
     "transform_output_tile",
@@ -32,9 +35,16 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class WinogradTransform:
     """Container for the three transformation matrices of F(m x m, r x r).
+
+    Instances are immutable: the matrices are defensively copied and marked
+    read-only on construction, so a transform can be shared freely (the
+    factory functions below are ``lru_cache``-d singletons) and used as a key
+    in per-transform caches such as :func:`integer_transform_matrices`.
+    Equality/hashing is by identity (``eq=False``), which is what the caches
+    need and what the singleton factories make natural.
 
     Attributes
     ----------
@@ -43,7 +53,7 @@ class WinogradTransform:
     r:
         Kernel size.
     BT, G, AT:
-        Input, weight, and output transformation matrices.
+        Input, weight, and output transformation matrices (read-only).
     name:
         Human readable identifier (``"F2"``, ``"F4"``, ...).
     """
@@ -56,6 +66,10 @@ class WinogradTransform:
     name: str = field(default="")
 
     def __post_init__(self):
+        for attr in ("BT", "G", "AT"):
+            matrix = np.array(getattr(self, attr), dtype=np.float64)
+            matrix.setflags(write=False)
+            object.__setattr__(self, attr, matrix)
         alpha = self.m + self.r - 1
         if self.BT.shape != (alpha, alpha):
             raise ValueError(f"BT must be {alpha}x{alpha}, got {self.BT.shape}")
@@ -86,8 +100,13 @@ class WinogradTransform:
         return f"WinogradTransform({self.name or f'F{self.m}'}, m={self.m}, r={self.r})"
 
 
+@lru_cache(maxsize=None)
 def winograd_f2() -> WinogradTransform:
-    """F(2x2, 3x3) matrices from Section II of the paper (roots {0, 1, -1})."""
+    """F(2x2, 3x3) matrices from Section II of the paper (roots {0, 1, -1}).
+
+    Cached: repeated calls return the same immutable instance, so experiment
+    loops and benchmarks do not rebuild (or re-transform) the matrices.
+    """
     bt = np.array([
         [1, 0, -1, 0],
         [0, 1, 1, 0],
@@ -107,11 +126,13 @@ def winograd_f2() -> WinogradTransform:
     return WinogradTransform(m=2, r=3, BT=bt, G=g, AT=at, name="F2")
 
 
+@lru_cache(maxsize=None)
 def winograd_f4() -> WinogradTransform:
     """F(4x4, 3x3) matrices from Section II of the paper.
 
     These are the canonical Lavin & Gray matrices; the paper writes the G
-    matrix with a 1/3 prefactor which is expanded here.
+    matrix with a 1/3 prefactor which is expanded here.  Cached — see
+    :func:`winograd_f2`.
     """
     bt = np.array([
         [4, 0, -5, 0, 1, 0],
@@ -138,8 +159,9 @@ def winograd_f4() -> WinogradTransform:
     return WinogradTransform(m=4, r=3, BT=bt, G=g, AT=at, name="F4")
 
 
+@lru_cache(maxsize=None)
 def winograd_f6() -> WinogradTransform:
-    """F(6x6, 3x3) generated with the Cook–Toom construction.
+    """F(6x6, 3x3) generated with the Cook–Toom construction (cached).
 
     Not used by the paper's accelerator (numerical error grows too large for
     int8), but useful for studying the accuracy-vs-tile-size trade-off the
@@ -159,11 +181,46 @@ _REGISTRY = {
 
 
 def get_transform(name: str) -> WinogradTransform:
-    """Look up a transform by name (``"F2"``, ``"F4"``, ``"F6"``)."""
+    """Look up a transform by name (``"F2"``, ``"F4"``, ``"F6"``).
+
+    The factories are cached, so this always returns the shared singleton.
+    """
     key = name.upper()
     if key not in _REGISTRY:
         raise KeyError(f"unknown Winograd transform {name!r}; available: {sorted(_REGISTRY)}")
     return _REGISTRY[key]()
+
+
+@dataclass(frozen=True)
+class IntegerTransformMatrices:
+    """Exact integer variants of a transform's matrices, where they exist.
+
+    ``BT`` and ``AT`` of F2/F4 are integral, which is what lets the hardware
+    (and the integer-simulation path in :mod:`repro.quant.integer`) run the
+    input/output transforms bit-exactly on integers.  Entries are ``None``
+    when the matrix has non-integer coefficients (e.g. every matrix of F6,
+    or ``G`` in general).
+    """
+
+    BT: np.ndarray | None
+    G: np.ndarray | None
+    AT: np.ndarray | None
+
+
+@lru_cache(maxsize=64)
+def integer_transform_matrices(transform: WinogradTransform) -> IntegerTransformMatrices:
+    """Per-transform cache of the rounded int64 matrices (read-only arrays)."""
+    def as_integer(matrix: np.ndarray) -> np.ndarray | None:
+        rounded = np.rint(matrix)
+        if not np.array_equal(rounded, matrix):
+            return None
+        out = rounded.astype(np.int64)
+        out.setflags(write=False)
+        return out
+
+    return IntegerTransformMatrices(BT=as_integer(transform.BT),
+                                    G=as_integer(transform.G),
+                                    AT=as_integer(transform.AT))
 
 
 # --------------------------------------------------------------------------- #
