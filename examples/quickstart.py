@@ -2,13 +2,17 @@
 
 This walks through the paper's core idea on a single layer:
 
-1. a float Winograd F(4x4, 3x3) convolution is bit-exact with im2col;
+1. a float Winograd F(4x4, 3x3) convolution is bit-exact with im2col — and
+   both run through the lower-then-execute API: the layer shape is compiled
+   once into a cached LayerPlan, and a weight-bound CompiledConv streams
+   batches through the plan without re-planning or re-transforming weights;
 2. quantizing the Winograd domain with ONE scale per transformation destroys
    precision (Challenge I of the paper);
 3. tap-wise, power-of-two scales recover it;
 4. the same computation runs with integer-only arithmetic (what the
    accelerator executes);
-5. the accelerator model predicts the layer-level speed-up and energy gain.
+5. the accelerator model predicts the layer-level speed-up and energy gain
+   (planning each distinct layer shape once, like the engine does).
 
 Run with:  python examples/quickstart.py
 """
@@ -16,6 +20,7 @@ Run with:  python examples/quickstart.py
 import numpy as np
 
 from repro.accelerator import AcceleratorSystem
+from repro.engine import CompiledConv, lower_winograd, plan_cache_stats
 from repro.models.layer_specs import Conv2DSpec
 from repro.nn import Tensor
 from repro.nn.functional import conv2d_numpy
@@ -37,13 +42,26 @@ def main() -> None:
     print(f"bit growth of a bit-true implementation: {bit_growth(transform)} "
           f"(why naive int8 fails)\n")
 
-    # --- 1. float equivalence ------------------------------------------------
+    # --- 1. float equivalence, lower-then-execute ----------------------------
     x = rng.normal(size=(2, 32, 28, 28))
     w = rng.normal(size=(48, 32, 3, 3)) * 0.1
-    reference = conv2d_numpy(x, w, padding=1)
+    reference = conv2d_numpy(x, w, padding=1)       # im2col, planned internally
     wino = winograd_conv2d(x, w, transform, padding=1)
     print(f"[1] float Winograd vs im2col   : max |diff| = "
           f"{np.abs(wino - reference).max():.2e}")
+
+    # The same layer as an explicit plan + bound executor: the plan is interned
+    # in the process-wide cache (the eager call above already lowered it), and
+    # CompiledConv pre-transforms the weights once so a stream of same-shape
+    # batches does no per-call planning or weight-transform work at all.
+    plan = lower_winograd(x.shape, w.shape, transform, padding=1)
+    compiled = CompiledConv(w, padding=1, transform=transform)
+    out_planned = compiled(x)
+    stats = plan_cache_stats()
+    print(f"    lower-then-execute         : plan {plan.kind}/{plan.transform.name} "
+          f"tiles={plan.n_h}x{plan.n_w}, max |diff| = "
+          f"{np.abs(out_planned - wino).max():.2e}  "
+          f"(plan cache: {stats.hits} hits / {stats.misses} misses)")
 
     # --- 2. vs 3. layer-wise vs tap-wise quantization ------------------------
     rows = []
@@ -78,6 +96,10 @@ def main() -> None:
     print(f"    F4     : {f4.total_cycles:12.0f} cycles, {f4.energy_uj:8.1f} uJ")
     print(f"    speed-up {baseline.total_cycles / f4.total_cycles:.2f}x, "
           f"energy gain {baseline.energy_uj / f4.energy_uj:.2f}x")
+    # Layer plans are memoized per shape: re-pricing the same layer is free.
+    system.run_layer(spec, batch=8, algorithm="F4")
+    print(f"    ({system.plan_cache_size} layer plans cached; repeated "
+          f"run_layer calls on the same shape reuse them)")
 
 
 if __name__ == "__main__":

@@ -13,14 +13,17 @@ The package is organised in two halves mirroring the paper:
 Both halves sit on :mod:`repro.kernels`, a registry of kernel backends for
 the numerically heavy primitives (``"fast"`` batched-GEMM formulations by
 default, the seed ``"reference"`` einsum code for equivalence testing; select
-with ``repro.kernels.set_backend`` or the ``REPRO_KERNEL_BACKEND`` env var).
+with ``repro.kernels.set_backend`` or the ``REPRO_KERNEL_BACKEND`` env var),
+and on :mod:`repro.engine`, the execution-plan layer that lowers layer shapes
+to cached :class:`~repro.engine.LayerPlan` objects and executes them through
+a fused forward+backward fast path and a multiprocessing batch runner.
 
 :mod:`repro.experiments` regenerates every table and figure of the paper's
 evaluation section; see DESIGN.md and EXPERIMENTS.md.
 """
 
-from . import (accelerator, datasets, experiments, kernels, models, nn, quant,
-               utils, winograd)
+from . import (accelerator, datasets, engine, experiments, kernels, models,
+               nn, quant, utils, winograd)
 from .accelerator import AcceleratorSystem, NvdlaSystem
 from .quant import QatConfig, QuantWinogradConv2d, Quantizer
 from .winograd import WinogradTransform, winograd_conv2d, winograd_f2, winograd_f4
@@ -29,7 +32,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "nn", "winograd", "quant", "models", "datasets", "accelerator",
-    "experiments", "utils", "kernels",
+    "experiments", "utils", "kernels", "engine",
     "WinogradTransform", "winograd_f2", "winograd_f4", "winograd_conv2d",
     "Quantizer", "QuantWinogradConv2d", "QatConfig",
     "AcceleratorSystem", "NvdlaSystem",

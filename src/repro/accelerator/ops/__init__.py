@@ -1,8 +1,44 @@
 """Operator-level performance models (im2col baseline, Winograd F2/F4)."""
 
+from __future__ import annotations
+
 from .common import LayerWorkload, ceil_div
 from .im2col_op import run_im2col
 from .winograd_op import run_winograd, winograd_supported
 
 __all__ = ["LayerWorkload", "ceil_div", "run_im2col", "run_winograd",
-           "winograd_supported"]
+           "winograd_supported", "select_layer_plan"]
+
+
+def select_layer_plan(workload: LayerWorkload, config, algorithm: str):
+    """Lower one workload to its executed operator (the compiler policy).
+
+    This is the per-layer *planning* step of the paper's compiler: pick the
+    kernel the layer will actually run with and price it.  ``algorithm``
+    follows :meth:`repro.accelerator.system.AcceleratorSystem.run_layer`:
+    ``"im2col"``, ``"f2"``/``"f4"`` (Winograd with im2col fallback and
+    best-of selection), ``"f2-only"``/``"f4-only"`` (forced), or ``"auto"``.
+    Returns the chosen :class:`~repro.accelerator.profile.LayerProfile`.
+
+    Callers that sweep networks should cache the result per layer shape —
+    :class:`~repro.accelerator.system.AcceleratorSystem` does exactly that,
+    mirroring the plan cache of :mod:`repro.engine` on the numeric side.
+    """
+    algorithm = algorithm.lower()
+    if algorithm == "im2col":
+        return run_im2col(workload, config)
+    if algorithm in ("f2-only", "f4-only"):
+        return run_winograd(workload, config, algorithm[:2].upper())
+    if algorithm in ("f2", "f4"):
+        baseline = run_im2col(workload, config)
+        if not winograd_supported(workload):
+            return baseline
+        wino = run_winograd(workload, config, algorithm.upper())
+        return wino if wino.total_cycles <= baseline.total_cycles else baseline
+    if algorithm == "auto":
+        candidates = [run_im2col(workload, config)]
+        if winograd_supported(workload):
+            candidates.append(run_winograd(workload, config, "F2"))
+            candidates.append(run_winograd(workload, config, "F4"))
+        return min(candidates, key=lambda profile: profile.total_cycles)
+    raise ValueError(f"unknown algorithm {algorithm!r}")

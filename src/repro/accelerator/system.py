@@ -4,15 +4,22 @@
 compiler policy the paper describes for Table VII: for every layer, the best
 available kernel is selected (im2col always; Winograd F2/F4 when the layer is
 eligible and the corresponding hardware extension is present).
+
+Layer planning is cached per system instance, keyed on the layer *shape*
+(channels, kernel, stride, output size, groups) plus batch and algorithm —
+the performance model is shape-determined, so repeated sweeps over networks
+full of identical layers (detection heads, repeated blocks) price each
+distinct shape exactly once, mirroring :mod:`repro.engine`'s plan cache on
+the numeric side.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..models.layer_specs import Conv2DSpec, NetworkSpec
 from .config import SystemConfig, default_system_config
-from .ops import LayerWorkload, run_im2col, run_winograd, winograd_supported
+from .ops import LayerWorkload, select_layer_plan
 from .profile import LayerProfile, NetworkProfile
 
 __all__ = ["AcceleratorSystem", "NetworkComparison"]
@@ -68,10 +75,17 @@ class AcceleratorSystem:
 
     def __init__(self, config: SystemConfig | None = None):
         self.config = config or default_system_config()
+        # Shape-keyed memo of planned layers; see the module docstring.
+        self._layer_plans: dict[tuple, LayerProfile] = {}
 
     # ------------------------------------------------------------------ #
     # Single layers
     # ------------------------------------------------------------------ #
+    @property
+    def plan_cache_size(self) -> int:
+        """Number of distinct (shape, batch, algorithm) plans priced so far."""
+        return len(self._layer_plans)
+
     def run_layer(self, spec: Conv2DSpec, batch: int = 1,
                   algorithm: str = "auto") -> LayerProfile:
         """Run one Conv2D layer with a fixed or automatically chosen kernel.
@@ -85,25 +99,18 @@ class AcceleratorSystem:
               layer is not eligible (used by the synthetic layer sweeps).
             * ``"auto"`` — best of im2col / F2 / F4.
         """
-        workload = LayerWorkload(spec=spec, batch=batch)
         algorithm = algorithm.lower()
-        if algorithm == "im2col":
-            return run_im2col(workload, self.config)
-        if algorithm in ("f2-only", "f4-only"):
-            return run_winograd(workload, self.config, algorithm[:2].upper())
-        if algorithm in ("f2", "f4"):
-            baseline = run_im2col(workload, self.config)
-            if not winograd_supported(workload):
-                return baseline
-            wino = run_winograd(workload, self.config, algorithm.upper())
-            return wino if wino.total_cycles <= baseline.total_cycles else baseline
-        if algorithm == "auto":
-            candidates = [run_im2col(workload, self.config)]
-            if winograd_supported(workload):
-                candidates.append(run_winograd(workload, self.config, "F2"))
-                candidates.append(run_winograd(workload, self.config, "F4"))
-            return min(candidates, key=lambda profile: profile.total_cycles)
-        raise ValueError(f"unknown algorithm {algorithm!r}")
+        key = (spec.cin, spec.cout, spec.kernel, spec.stride, spec.out_h,
+               spec.out_w, spec.groups, batch, algorithm)
+        cached = self._layer_plans.get(key)
+        if cached is None:
+            workload = LayerWorkload(spec=spec, batch=batch)
+            cached = select_layer_plan(workload, self.config, algorithm)
+            self._layer_plans[key] = cached
+        if cached.layer_name != spec.name:
+            # Same shape, different layer: share the plan, relabel the record.
+            return replace(cached, layer_name=spec.name)
+        return cached
 
     def layer_speedup(self, spec: Conv2DSpec, batch: int = 1,
                       algorithm: str = "F4") -> float:

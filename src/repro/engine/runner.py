@@ -1,0 +1,141 @@
+"""BatchRunner: shard a stream of convolution inputs across worker processes.
+
+The kernel registry is the seam this rides on (ROADMAP open item): a worker is
+just another process with the same backends registered, so the parent ships a
+picklable :class:`ConvJob` — weights, geometry, a *transform name* and a
+*backend name*, never live objects — and each worker rebuilds a
+:class:`~repro.engine.executor.CompiledConv` exactly once in its initializer.
+Because lowering goes through the shared plan cache with the same keys the
+parent uses, a worker lowers each input shape once and every later chunk is a
+cache hit: workers never re-lower, and with the (default, where available)
+``fork`` start method they even inherit plans the parent had already lowered.
+
+``num_workers=0`` executes inline in the calling process — same results, no
+processes — which is the right default for small batches (process transport
+costs real time; sharding pays off for large batches / many-core boxes).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+
+import numpy as np
+
+from .executor import CompiledConv
+
+__all__ = ["ConvJob", "BatchRunner"]
+
+
+@dataclass(frozen=True)
+class ConvJob:
+    """Picklable description of one bound convolution layer.
+
+    ``transform`` and ``backend`` are *names* (resolved in the worker against
+    its own registries) so that the per-process singletons — transform
+    matrices, kernel backends, plan cache — are shared by key, not by pickle.
+    """
+
+    weight: np.ndarray
+    bias: np.ndarray | None = None
+    stride: int = 1
+    padding: int = 0
+    transform: str | None = None      # None -> im2col, "F2"/"F4"/... -> Winograd
+    backend: str | None = None        # None -> the worker's default backend
+
+    def compile(self) -> CompiledConv:
+        return CompiledConv(self.weight, self.bias, stride=self.stride,
+                            padding=self.padding, transform=self.transform,
+                            backend=self.backend)
+
+
+# Per-worker bound layer, installed once by the pool initializer.
+_WORKER_CONV: CompiledConv | None = None
+
+
+def _init_worker(job: ConvJob) -> None:
+    global _WORKER_CONV
+    _WORKER_CONV = job.compile()
+
+
+def _run_chunk(x: np.ndarray) -> np.ndarray:
+    return _WORKER_CONV(x)
+
+
+def _pick_context(name: str | None) -> multiprocessing.context.BaseContext:
+    if name is not None:
+        return multiprocessing.get_context(name)
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork
+        return multiprocessing.get_context()
+
+
+class BatchRunner:
+    """Runs a bound convolution over input streams, optionally sharded.
+
+    Parameters
+    ----------
+    job:
+        The layer to run (see :class:`ConvJob`).
+    num_workers:
+        ``0`` (default) executes inline; ``> 0`` spawns a process pool whose
+        workers each compile ``job`` once.
+    chunk_size:
+        Batch items per shard when splitting one large batch in :meth:`run`;
+        defaults to an even split across workers.
+    mp_context:
+        multiprocessing start method (``"fork"``/``"spawn"``/...); default
+        prefers ``fork`` so workers inherit the parent's warm caches.
+    """
+
+    def __init__(self, job: ConvJob, num_workers: int = 0,
+                 chunk_size: int | None = None, mp_context: str | None = None):
+        self.job = job
+        self.num_workers = int(num_workers)
+        self.chunk_size = chunk_size
+        self._pool = None
+        self._local: CompiledConv | None = None   # compiled lazily on first use
+        if self.num_workers > 0:
+            ctx = _pick_context(mp_context)
+            self._pool = ctx.Pool(self.num_workers, initializer=_init_worker,
+                                  initargs=(job,))
+
+    def _local_conv(self) -> CompiledConv:
+        if self._local is None:
+            self._local = self.job.compile()
+        return self._local
+
+    # ------------------------------------------------------------------ #
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """One (possibly large) batch, sharded along the batch axis."""
+        x = np.asarray(x)
+        if self._pool is None:
+            return self._local_conv()(x)
+        n = x.shape[0]
+        chunk = self.chunk_size or -(-n // self.num_workers)
+        chunks = [x[i:i + chunk] for i in range(0, n, chunk)]
+        outs = self._pool.map(_run_chunk, chunks)
+        return np.concatenate(outs, axis=0)
+
+    def map(self, inputs) -> list[np.ndarray]:
+        """A stream of independent input arrays (one result per input)."""
+        if self._pool is None:
+            local = self._local_conv()
+            return [local(np.asarray(x)) for x in inputs]
+        return self._pool.map(_run_chunk, [np.asarray(x) for x in inputs])
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut the pool down; later calls execute inline (compiled lazily)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "BatchRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -32,7 +32,7 @@ import numpy as np
 from .einsum_cache import cached_einsum
 from .registry import KernelBackend
 
-__all__ = ["BACKEND"]
+__all__ = ["BACKEND", "transform_weights_tap_major"]
 
 
 def _is_float(*arrays: np.ndarray) -> bool:
@@ -220,8 +220,23 @@ def scatter_tiles_add(grad_tiles: np.ndarray, padded_shape: tuple[int, int, int,
 _BLOCK_BYTES = 144 * 1024
 
 
+def transform_weights_tap_major(weight: np.ndarray, transform) -> np.ndarray:
+    """``G f GT`` in the tap-major ``(a², Cout, Cin)`` layout of the fused kernel.
+
+    Execution plans bind this once per layer (the weights of an inference
+    stream are constant) so repeated :func:`winograd_forward` calls skip the
+    per-call weight transformation entirely.
+    """
+    cout, cin, r, _ = weight.shape
+    a = transform.alpha
+    w_flat = weight.reshape(cout * cin, r * r) @ _pair_kron(transform.G,
+                                                            transform.G.T)
+    return np.ascontiguousarray(w_flat.T).reshape(a * a, cout, cin)
+
+
 def winograd_forward(x_padded: np.ndarray, weight: np.ndarray, transform,
-                     out_h: int, out_w: int) -> np.ndarray:
+                     out_h: int, out_w: int,
+                     w_r: np.ndarray | None = None) -> np.ndarray:
     """Whole Winograd pipeline on the already-padded input, without bias.
 
     This is the dataflow the accelerator actually runs (Listing 1 of the
@@ -245,10 +260,9 @@ def winograd_forward(x_padded: np.ndarray, weight: np.ndarray, transform,
     n_w = (wp - (r - 1)) // m
     bt, at = transform.BT, transform.AT
 
-    # Transformed weights, tap-major: (a², Cout, Cin).
-    w_flat = weight.reshape(cout * cin, r * r) @ _pair_kron(transform.G,
-                                                            transform.G.T)
-    w_r = np.ascontiguousarray(w_flat.T).reshape(a * a, cout, cin)
+    if w_r is None:
+        # Transformed weights, tap-major: (a², Cout, Cin).
+        w_r = transform_weights_tap_major(weight, transform)
 
     out_dtype = np.result_type(x_padded.dtype, w_r.dtype)
     out = np.empty((n, cout, n_h * m, n_w * m), dtype=out_dtype)
@@ -285,6 +299,114 @@ def winograd_forward(x_padded: np.ndarray, weight: np.ndarray, transform,
     if out.shape[2] == out_h and out.shape[3] == out_w:
         return out
     return np.ascontiguousarray(out[:, :, :out_h, :out_w])
+
+
+# --------------------------------------------------------------------------- #
+# Fused Winograd forward+backward (training fast path, tap-major end to end)
+# --------------------------------------------------------------------------- #
+def _separable_pair(t3: np.ndarray, left: np.ndarray, right: np.ndarray
+                    ) -> np.ndarray:
+    """``left @ t @ right`` on the two leading tap axes of ``(a0, a1, K)``.
+
+    Two skinny GEMMs (a³ MACs per tile per stage) instead of the a⁴ one-shot
+    Kronecker formulation — the same separable trick :func:`winograd_forward`
+    uses, shared here with the fused backward.
+    """
+    a0, _a1, k = t3.shape
+    s1 = np.matmul(right.T, t3)                   # applies ``right`` on axis 1
+    o1 = s1.shape[1]
+    return (left @ s1.reshape(a0, o1 * k)).reshape(left.shape[0], o1, k)
+
+
+def winograd_autograd(x_padded: np.ndarray, weight: np.ndarray, transform,
+                      out_h: int, out_w: int):
+    """Fused Winograd training step: blocked forward now, blocked adjoints later.
+
+    Returns ``(out, backward)`` where ``backward(grad)`` yields
+    ``(dx_padded, dweight)``.  The forward is exactly
+    :func:`winograd_forward` (cache-blocked, tap-major) with the transformed
+    weights hoisted so they are shared with the backward.  The backward runs
+    the same block structure in reverse: per block of Winograd tile rows it
+    *recomputes* the separable input transform from the checkpointed padded
+    input (a³ work, cache-resident — cheaper than storing and re-streaming
+    the 2.25x-larger Winograd-domain activations), then applies the
+    output-transform adjoint, both channel-GEMM adjoints (accumulating the
+    tap-major ``dW``), the input-transform adjoint, and a block-local
+    overlap scatter-add.
+
+    Keeping every stage inside one ~:data:`_BLOCK_BYTES` working set is what
+    beats the composed graph: the composed adjoint primitives each stream
+    whole-layer tensors through memory (plus two layout copies per
+    contraction call), while here nothing larger than the block leaves cache
+    between stages.
+    """
+    m, r, a = transform.m, transform.r, transform.alpha
+    n, cin, hp, wp = x_padded.shape
+    cout = weight.shape[0]
+    n_h = (hp - (r - 1)) // m
+    n_w = (wp - (r - 1)) // m
+    bt, at, g = transform.BT, transform.AT, transform.G
+
+    w_r = transform_weights_tap_major(weight, transform)             # (a²,O,I)
+    out = winograd_forward(x_padded, weight, transform, out_h, out_w, w_r=w_r)
+
+    full_h, full_w = n_h * m, n_w * m
+    row_bytes = a * a * cin * n_w * x_padded.itemsize
+    rows_per_block = min(n_h, max(1, _BLOCK_BYTES // max(row_bytes, 1)))
+
+    def backward(grad: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if full_h == out_h and full_w == out_w:
+            g_full = grad
+        else:
+            g_full = np.zeros((n, cout, full_h, full_w), dtype=grad.dtype)
+            g_full[:, :, :out_h, :out_w] = grad
+        acc_dtype = np.result_type(grad.dtype, x_padded.dtype, np.float64)
+        dw_r = np.zeros((a * a, cout, cin), dtype=acc_dtype)
+        dx_padded = np.zeros((n, cin, hp, wp), dtype=acc_dtype)
+        w_rt = np.ascontiguousarray(w_r.transpose(0, 2, 1))          # (a²,I,O)
+
+        for nn in range(n):
+            image = x_padded[nn]
+            s1, s2, s3 = image.strides
+            view = np.lib.stride_tricks.as_strided(
+                image,
+                shape=(a, a, cin, n_h, n_w),
+                strides=(s2, s3, s1, s2 * m, s3 * m),
+                writeable=False,
+            )
+            g_img = g_full[nn].reshape(cout, n_h, m, n_w, m)
+            dx_img = dx_padded[nn]
+            for i0 in range(0, n_h, rows_per_block):
+                rb = min(rows_per_block, n_h - i0)
+                tiles = rb * n_w
+                # Recompute the block's Winograd-domain input (checkpointing).
+                f3 = np.ascontiguousarray(view[:, :, :, i0:i0 + rb]
+                                          ).reshape(a, a, cin * tiles)
+                x_r = _separable_pair(f3, bt, bt.T).reshape(a * a, cin, tiles)
+                # Output-transform adjoint: dacc = ATᵀ g AT.
+                g3 = np.ascontiguousarray(
+                    g_img[:, i0:i0 + rb].transpose(2, 4, 0, 1, 3)
+                ).reshape(m, m, cout * tiles)
+                dacc = _separable_pair(g3, at.T, at).reshape(a * a, cout, tiles)
+                # Channel-GEMM adjoints (the Cube Unit's two transposes).
+                dx_r = np.matmul(w_rt, dacc)                         # (a²,I,T)
+                dw_r += np.matmul(dacc, x_r.transpose(0, 2, 1))      # (a²,O,I)
+                # Input-transform adjoint + block-local overlap scatter-add.
+                dt3 = _separable_pair(dx_r.reshape(a, a, cin * tiles),
+                                      bt.T, bt)
+                dtiles = np.ascontiguousarray(
+                    dt3.reshape(a, a, cin, rb, n_w).transpose(2, 3, 4, 0, 1))
+                block = scatter_tiles_add(
+                    dtiles[None], (1, cin, rb * m + r - 1, wp), m, r)
+                h0 = i0 * m
+                dx_img[:, h0:h0 + rb * m + r - 1] += block[0]
+
+        dw_wino = np.ascontiguousarray(
+            dw_r.reshape(a, a, cout, cin).transpose(2, 3, 0, 1))
+        dw = g.T @ dw_wino @ g
+        return dx_padded, dw
+
+    return out, backward
 
 
 # --------------------------------------------------------------------------- #
@@ -375,4 +497,5 @@ BACKEND = KernelBackend(
     conv2d_gemm_dw=conv2d_gemm_dw,
     conv2d_gemm_dcols=conv2d_gemm_dcols,
     winograd_forward=winograd_forward,
+    winograd_autograd=winograd_autograd,
 )

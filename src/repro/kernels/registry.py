@@ -29,18 +29,40 @@ from typing import Callable
 
 __all__ = [
     "KernelBackend",
+    "UnknownBackendError",
     "register_backend",
     "available_backends",
     "get_backend",
     "set_backend",
     "reset_backend",
     "use_backend",
+    "add_backend_listener",
     "ENV_VAR",
     "DEFAULT_BACKEND",
 ]
 
 ENV_VAR = "REPRO_KERNEL_BACKEND"
 DEFAULT_BACKEND = "fast"
+
+
+class UnknownBackendError(KeyError):
+    """A backend name that is not in the registry.
+
+    Raised at the dispatch entry point (``backend=`` argument, ``set_backend``,
+    or the first resolution of ``REPRO_KERNEL_BACKEND``) so the caller sees the
+    bad name and the list of registered backends immediately, instead of an
+    attribute error deep inside a kernel.
+    """
+
+    def __init__(self, name: str, source: str):
+        self.backend_name = name
+        self.source = source
+        super().__init__(
+            f"unknown kernel backend {name!r} (from {source}); "
+            f"registered backends: {available_backends()}")
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
 
 
 @dataclass(frozen=True)
@@ -81,12 +103,22 @@ class KernelBackend:
     # tap-major layout; ``None`` means "compose the primitives above".
     winograd_forward: Callable | None = None
 
+    # Optional fused Winograd forward+backward for training: called as
+    # ``out, backward = winograd_autograd(x_padded, weight, transform,
+    # out_h, out_w)`` where ``backward(grad) -> (dx_padded, dweight)``.
+    # Lets a backend keep the whole autograd step in its internal layout
+    # (the fast backend stays tap-major end to end, skipping the layout
+    # round-trips of the composed adjoint primitives).  ``None`` means
+    # "compose the primitives above".
+    winograd_autograd: Callable | None = None
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"KernelBackend({self.name!r})"
 
 
 _BACKENDS: dict[str, KernelBackend] = {}
 _ACTIVE: KernelBackend | None = None
+_LISTENERS: list[Callable[[], None]] = []
 
 
 def register_backend(backend: KernelBackend) -> KernelBackend:
@@ -100,17 +132,43 @@ def available_backends() -> list[str]:
     return sorted(_BACKENDS)
 
 
-def _lookup(name: str) -> KernelBackend:
+def add_backend_listener(listener: Callable[[], None]) -> Callable[[], None]:
+    """Register a callback fired whenever the active backend changes.
+
+    Used by caches keyed (implicitly or explicitly) on the active backend —
+    most importantly the :mod:`repro.engine` plan cache, which must drop its
+    compiled :class:`~repro.engine.LayerPlan` entries when ``set_backend`` /
+    ``use_backend`` / ``reset_backend`` switch the process-wide backend.
+    """
+    _LISTENERS.append(listener)
+    return listener
+
+
+def _notify_backend_changed() -> None:
+    for listener in _LISTENERS:
+        listener()
+
+
+def _lookup(name: str, source: str = "the backend= argument") -> KernelBackend:
     key = name.strip().lower()
     if key not in _BACKENDS:
-        raise KeyError(
-            f"unknown kernel backend {name!r}; available: {available_backends()}")
+        raise UnknownBackendError(name, source)
     return _BACKENDS[key]
 
 
 def _resolve_default() -> KernelBackend:
-    name = os.environ.get(ENV_VAR, "").strip() or DEFAULT_BACKEND
-    return _lookup(name)
+    name = os.environ.get(ENV_VAR, "").strip()
+    if name:
+        return _lookup(name, source=f"the {ENV_VAR} environment variable")
+    return _lookup(DEFAULT_BACKEND, source="the built-in default")
+
+
+def _current() -> KernelBackend:
+    """The effective process-wide backend, resolving the env var on first use."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = _resolve_default()
+    return _ACTIVE
 
 
 def get_backend(backend: str | KernelBackend | None = None) -> KernelBackend:
@@ -121,36 +179,57 @@ def get_backend(backend: str | KernelBackend | None = None) -> KernelBackend:
     looked up in the registry; an instance is returned unchanged.  This is the
     single dispatch point every per-call ``backend=`` argument funnels into.
     """
-    global _ACTIVE
     if backend is None:
-        if _ACTIVE is None:
-            _ACTIVE = _resolve_default()
-        return _ACTIVE
+        return _current()
     if isinstance(backend, KernelBackend):
         return backend
     return _lookup(backend)
 
 
 def set_backend(backend: str | KernelBackend) -> KernelBackend:
-    """Set the process-wide active backend; returns the resolved instance."""
+    """Set the process-wide active backend; returns the resolved instance.
+
+    Fails fast with :class:`UnknownBackendError` on an unregistered name, and
+    notifies registered listeners (evicting e.g. the engine's plan cache) —
+    but only when the effective backend actually changes, so a redundant
+    ``set_backend`` of the already-active backend keeps caches warm.
+    """
     global _ACTIVE
-    _ACTIVE = get_backend(backend)
+    new = get_backend(backend)
+    changed = new is not _current()
+    _ACTIVE = new
+    if changed:
+        _notify_backend_changed()
     return _ACTIVE
 
 
 def reset_backend() -> None:
     """Drop any override so the next :func:`get_backend` re-reads the env var."""
     global _ACTIVE
+    had_override = _ACTIVE is not None
     _ACTIVE = None
+    if had_override:
+        _notify_backend_changed()
 
 
 @contextlib.contextmanager
 def use_backend(backend: str | KernelBackend):
-    """Context manager that temporarily switches the active backend."""
+    """Context manager that temporarily switches the active backend.
+
+    Listeners fire on entry and exit only if the context actually switches
+    the effective backend (a no-op ``use_backend`` of the current backend
+    leaves dependent caches untouched).
+    """
     global _ACTIVE
+    new = get_backend(backend)
+    switched = new is not _current()
     prev = _ACTIVE
-    _ACTIVE = get_backend(backend)
+    _ACTIVE = new
+    if switched:
+        _notify_backend_changed()
     try:
         yield _ACTIVE
     finally:
         _ACTIVE = prev
+        if switched:
+            _notify_backend_changed()

@@ -9,7 +9,12 @@ precision in the float case).
 
 The im2col lowering and its three GEMMs (forward, dW, dX) dispatch through
 :mod:`repro.kernels`; ``conv2d`` / ``conv2d_numpy`` accept an optional
-``backend=`` argument for per-call backend selection.
+``backend=`` argument for per-call backend selection.  Both entry points
+lower-then-execute through :mod:`repro.engine`: the layer shape is compiled
+once into a cached :class:`~repro.engine.LayerPlan` and repeated same-shape
+calls execute the interned plan (a fused single-node autograd op in the
+``conv2d`` case).  The eager composed implementation is kept as the fallback
+for anything the lowering rejects.
 """
 
 from __future__ import annotations
@@ -41,11 +46,17 @@ __all__ = [
 
 
 # --------------------------------------------------------------------------- #
-# im2col / col2im primitives (pure numpy, used inside custom autograd ops)
+# im2col / col2im primitives (dispatch through the kernel registry)
 # --------------------------------------------------------------------------- #
 def im2col(x: np.ndarray, kernel: tuple[int, int], stride: int = 1,
-           padding: int = 0) -> np.ndarray:
+           padding: int = 0,
+           backend: str | KernelBackend | None = None) -> np.ndarray:
     """Unroll sliding windows of ``x`` into columns.
+
+    Dispatches through :mod:`repro.kernels` (this module used to carry its
+    own copy of the lowering; the registry is now the single home of both
+    implementations, so ``REPRO_KERNEL_BACKEND`` affects every conv entry
+    point).
 
     Parameters
     ----------
@@ -62,62 +73,29 @@ def im2col(x: np.ndarray, kernel: tuple[int, int], stride: int = 1,
     -------
     ndarray of shape ``(N, C * kh * kw, out_h * out_w)``.
     """
-    n, c, h, w = x.shape
-    kh, kw = kernel
-    if padding > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-    hp, wp = x.shape[2], x.shape[3]
-    out_h = (hp - kh) // stride + 1
-    out_w = (wp - kw) // stride + 1
-
-    s0, s1, s2, s3 = x.strides
-    windows = np.lib.stride_tricks.as_strided(
-        x,
-        shape=(n, c, out_h, out_w, kh, kw),
-        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
-        writeable=False,
-    )
-    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, out_h * out_w)
-    return np.ascontiguousarray(cols)
+    return get_backend(backend).im2col(x, kernel, stride, padding)
 
 
 def col2im(cols: np.ndarray, input_shape: tuple[int, int, int, int],
-           kernel: tuple[int, int], stride: int = 1, padding: int = 0) -> np.ndarray:
+           kernel: tuple[int, int], stride: int = 1, padding: int = 0,
+           backend: str | KernelBackend | None = None) -> np.ndarray:
     """Adjoint of :func:`im2col`: scatter-add columns back into an image."""
-    n, c, h, w = input_shape
-    kh, kw = kernel
-    hp, wp = h + 2 * padding, w + 2 * padding
-    out_h = (hp - kh) // stride + 1
-    out_w = (wp - kw) // stride + 1
-
-    x = np.zeros((n, c, hp, wp), dtype=cols.dtype)
-    cols_reshaped = cols.reshape(n, c, kh, kw, out_h, out_w)
-    for i in range(kh):
-        i_end = i + stride * out_h
-        for j in range(kw):
-            j_end = j + stride * out_w
-            x[:, :, i:i_end:stride, j:j_end:stride] += cols_reshaped[:, :, i, j]
-    if padding > 0:
-        x = x[:, :, padding:-padding, padding:-padding]
-    return x
+    return get_backend(backend).col2im(cols, input_shape, kernel, stride, padding)
 
 
 def conv2d_numpy(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None,
                  stride: int = 1, padding: int = 0,
                  backend: str | KernelBackend | None = None) -> np.ndarray:
-    """Plain numpy im2col convolution (no autograd).  Reference implementation."""
+    """Plain numpy im2col convolution (no autograd).  Reference implementation.
+
+    Lowers the layer shape to a cached :class:`~repro.engine.LayerPlan` and
+    executes it; repeated calls with the same shape reuse the interned plan.
+    """
+    from .. import engine
+
     be = get_backend(backend)
-    n = x.shape[0]
-    cout, cin, kh, kw = weight.shape
-    cols = be.im2col(x, (kh, kw), stride, padding)
-    w2d = weight.reshape(cout, cin * kh * kw)
-    out = be.conv2d_gemm(w2d, cols)
-    out_h = (x.shape[2] + 2 * padding - kh) // stride + 1
-    out_w = (x.shape[3] + 2 * padding - kw) // stride + 1
-    out = out.reshape(n, cout, out_h, out_w)
-    if bias is not None:
-        out = out + bias.reshape(1, cout, 1, 1)
-    return out
+    plan = engine.lower_conv2d(x.shape, weight.shape, stride, padding, backend=be)
+    return engine.execute(plan, x, weight, bias)
 
 
 # --------------------------------------------------------------------------- #
@@ -130,15 +108,29 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
 
     Shapes follow the usual NCHW / OIHW convention.  ``backend`` selects the
     kernel backend for the forward GEMM and both backward GEMMs of this call.
+    The layer shape is lowered once to a cached plan and executed as a single
+    fused autograd node.  The lowering accepts exactly the shapes the eager
+    path accepts (and raises the same errors, just earlier and clearer);
+    :func:`_conv2d_eager` stays available as the composed escape hatch.
     """
+    from .. import engine
+
     be = get_backend(backend)
     x = as_tensor(x)
     weight = as_tensor(weight)
-    n, cin, h, w = x.shape
-    cout, cin_w, kh, kw = weight.shape
+    cin, cin_w = x.shape[1], weight.shape[1]
     if cin != cin_w:
         raise ValueError(f"channel mismatch: input has {cin}, weight expects {cin_w}")
 
+    plan = engine.lower_conv2d(x.shape, weight.shape, stride, padding, backend=be)
+    return engine.execute_tensor(plan, x, weight, bias)
+
+
+def _conv2d_eager(x: Tensor, weight: Tensor, bias: Tensor | None,
+                  stride: int, padding: int, be: KernelBackend) -> Tensor:
+    """Composed im2col convolution (the pre-plan path, kept as fallback)."""
+    n, cin, h, w = x.shape
+    cout, _cin, kh, kw = weight.shape
     cols = be.im2col(x.data, (kh, kw), stride, padding)
     w2d = weight.data.reshape(cout, cin * kh * kw)
     out_h = (h + 2 * padding - kh) // stride + 1
@@ -151,9 +143,7 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
 
     def _backward(grad: np.ndarray):
         grad2d = grad.reshape(n, cout, out_h * out_w)
-        # dW: sum over batch of grad @ cols^T
         dw = be.conv2d_gemm_dw(grad2d, cols).reshape(weight.shape)
-        # dX: w^T @ grad, folded back with col2im
         dcols = be.conv2d_gemm_dcols(w2d, grad2d)
         dx = be.col2im(dcols, (n, cin, h, w), (kh, kw), stride, padding)
         if bias is None:

@@ -32,11 +32,15 @@ class Conv2d(Module):
     """2-D convolution implemented with the im2col lowering.
 
     This is the "standard algorithm" of the paper — the baseline that the
-    Winograd layers replace for 3×3 / stride-1 cases.
+    Winograd layers replace for 3×3 / stride-1 cases.  Each call lowers the
+    layer shape through :mod:`repro.engine`'s shared plan cache (a hit after
+    the first batch) and executes the plan as one fused autograd node;
+    ``backend`` optionally pins this layer to a specific kernel backend.
     """
 
     def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
                  stride: int = 1, padding: int = 0, bias: bool = True,
+                 backend: str | None = None,
                  rng: np.random.Generator | None = None):
         super().__init__()
         self.in_channels = in_channels
@@ -44,12 +48,14 @@ class Conv2d(Module):
         self.kernel_size = kernel_size
         self.stride = stride
         self.padding = padding
+        self.backend = backend
         shape = (out_channels, in_channels, kernel_size, kernel_size)
         self.weight = Parameter(init.kaiming_normal(shape, rng))
         self.bias = Parameter(init.zeros((out_channels,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride,
+                        padding=self.padding, backend=self.backend)
 
     def extra_repr(self) -> str:  # pragma: no cover - debugging aid
         return (f"{self.in_channels}, {self.out_channels}, k={self.kernel_size}, "

@@ -192,6 +192,24 @@ class QuantWinogradConv2d(Module):
     # ------------------------------------------------------------------ #
     # Forward
     # ------------------------------------------------------------------ #
+    def plan_for(self, in_shape: tuple):
+        """The layer's cached :class:`~repro.engine.LayerPlan` for one shape.
+
+        The plan records this layer's quantization parameters alongside the
+        resolved backend and tiling geometry (and they are part of the cache
+        key, so differently-quantized twins of the same shape do not share).
+        """
+        from .. import engine
+
+        return engine.lower_winograd(
+            in_shape, self.weight.shape, self.transform, self.padding,
+            backend=self.backend,
+            quant={
+                "spatial_bits": self.spatial_bits,
+                "wino_bits": self.wino_bits,
+                "granularity": self.granularity.value,
+            })
+
     def forward(self, x: Tensor) -> Tensor:
         x = as_tensor(x)
         if self.act_quant is not None:
@@ -206,10 +224,10 @@ class QuantWinogradConv2d(Module):
                             backend=self.backend)
 
         return winograd_conv2d_tensor(
-            x, weight, self.transform, bias=self.bias, padding=self.padding,
+            x, weight, bias=self.bias, padding=self.padding,
             input_tile_hook=self.input_wino_quant,
             weight_tile_hook=self.weight_wino_quant,
-            backend=self.backend,
+            plan=self.plan_for(x.shape),
         )
 
     # ------------------------------------------------------------------ #

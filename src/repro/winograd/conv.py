@@ -19,6 +19,16 @@ through :mod:`repro.kernels`.  Every public entry point takes an optional
 ``backend=`` argument (``"fast"``/``"reference"``/a
 :class:`~repro.kernels.KernelBackend`) for per-call opt-out; by default the
 process-wide backend is used (``fast`` unless overridden).
+
+Both entry points *lower-then-execute*: the layer shape is compiled once into
+a cached :class:`~repro.engine.LayerPlan` (transform, padding/tiling
+geometry, workspace shapes) and executed through :mod:`repro.engine`.  For
+the no-hook case :func:`winograd_conv2d_tensor` runs the engine's **fused
+forward+backward fast path** — a single autograd node around the backend's
+whole-layer kernel.  When hooks intercept the Winograd domain (the tap-wise
+quantized layers), the composed primitive-by-primitive graph below remains
+the execution strategy, since the hooks must see (and differentiate through)
+the intermediate tensors.
 """
 
 from __future__ import annotations
@@ -76,30 +86,16 @@ def winograd_conv2d(x: np.ndarray, weight: np.ndarray,
     backend:
         Kernel backend override for this call (see :mod:`repro.kernels`).
     """
+    from .. import engine
+
     be = get_backend(backend)
     transform = transform or winograd_f4()
-    m, r, alpha = transform.m, transform.r, transform.alpha
-    if weight.shape[2] != r or weight.shape[3] != r:
-        raise ValueError(f"kernel size {weight.shape[2:]} does not match transform r={r}")
-    n, cin, h, w = x.shape
-    cout = weight.shape[0]
-
-    padded, out_h, out_w = pad_for_tiling(x, m, r, padding)
-    if be.winograd_forward is not None:
-        # Fused tap-major pipeline (the fast backend's whole-layer kernel).
-        out = be.winograd_forward(padded, weight, transform, out_h, out_w)
-    else:
-        tiles = be.extract_tiles(padded, m, r)                      # (N,Cin,nH,nW,a,a)
-        tiles_w = be.apply_transform_pair(tiles, transform.BT, transform.B)
-        weight_w = be.apply_transform_pair(weight, transform.G, transform.G.T)
-
-        # Tap-wise batched MatMul: accumulate over input channels.
-        prod = be.tile_contract(tiles_w, weight_w)
-        out_tiles = be.apply_transform_pair(prod, transform.AT, transform.A)
-        out = assemble_output_tiles(out_tiles, out_h, out_w)
-    if bias is not None:
-        out = out + bias.reshape(1, cout, 1, 1)
-    return out
+    if weight.shape[2] != transform.r or weight.shape[3] != transform.r:
+        raise ValueError(
+            f"kernel size {weight.shape[2:]} does not match transform r={transform.r}")
+    plan = engine.lower_winograd(x.shape, weight.shape, transform, padding,
+                                 backend=be)
+    return engine.execute(plan, x, weight, bias)
 
 
 # --------------------------------------------------------------------------- #
@@ -200,7 +196,8 @@ def winograd_conv2d_tensor(x: Tensor, weight: Tensor,
                            input_tile_hook: Hook | None = None,
                            weight_tile_hook: Hook | None = None,
                            product_hook: Hook | None = None,
-                           backend: str | KernelBackend | None = None) -> Tensor:
+                           backend: str | KernelBackend | None = None,
+                           plan=None) -> Tensor:
     """Differentiable Winograd convolution with quantization hooks.
 
     The hooks receive the Winograd-domain tensors and must return tensors of
@@ -213,13 +210,40 @@ def winograd_conv2d_tensor(x: Tensor, weight: Tensor,
       tap-wise rescaling ``S_BG`` of the paper's quantization scheme lives.
 
     ``backend`` selects the kernel backend for every step of this call (the
-    forward *and* the recorded backward closures).
+    forward *and* the recorded backward closures).  ``plan`` optionally
+    supplies an already-lowered :class:`~repro.engine.LayerPlan` (it takes
+    precedence over ``transform``/``backend``/``padding`` on every path);
+    otherwise one is looked up in the shared plan cache.
+
+    When no hook is installed (and the data is float), the call executes as
+    the engine's fused single-node autograd op instead of the composed graph.
     """
-    be = get_backend(backend)
-    transform = transform or winograd_f4()
+    from .. import engine
+
     x = as_tensor(x)
     weight = as_tensor(weight)
     cout = weight.shape[0]
+
+    if plan is not None:
+        be = plan.backend
+        transform = plan.transform
+        padding = plan.padding
+    else:
+        be = get_backend(backend)
+        transform = transform or winograd_f4()
+
+    no_hooks = (input_tile_hook is None and weight_tile_hook is None
+                and product_hook is None)
+    is_float = (x.data.dtype in (np.float32, np.float64)
+                and weight.data.dtype in (np.float32, np.float64))
+    if no_hooks and is_float:
+        if plan is None:
+            plan = engine.lower_winograd(x.shape, weight.shape, transform,
+                                         padding, backend=be)
+        return engine.execute_tensor(plan, x, weight, bias)
+
+    # Composed fallback: the hooks must see (and differentiate through) the
+    # Winograd-domain intermediates, so each stage stays its own graph node.
 
     tiles, out_h, out_w = extract_input_tiles_tensor(x, transform, padding, backend=be)
     tiles_w = transform_pair_tensor(tiles, transform.BT, transform.B, backend=be)
