@@ -11,9 +11,9 @@ trajectory is tracked from PR to PR.
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--output PATH]
-        [--repeats N] [--warmup N]
+        [--serve-output PATH] [--repeats N] [--warmup N] [--smoke]
 
-Two acceptance numbers (same 4x32x32x32 input, 32 output channels, F4):
+Acceptance numbers (same 4x32x32x32 input, 32 output channels, F4):
 
 * ``winograd_f4_forward``: the ``fast`` backend must stay >= 2x faster than
   ``reference``.
@@ -23,6 +23,17 @@ Two acceptance numbers (same 4x32x32x32 input, 32 output channels, F4):
   every forward used before :mod:`repro.engine` existed, and which the
   quantization-hook layers still run.  Both measurements are interleaved
   round by round (paired ratios) for robustness on loaded machines.
+
+Serving-layer numbers (PR 5, written to ``BENCH_serve.json``):
+
+* ``served_model_f4``: steady-state ``CompiledModel`` inference (BN folded,
+  ReLU fused, plan-keyed workspace arena) must be >= 1.2x over the same
+  network run as per-layer CompiledConv + BN + ReLU steps.
+* ``shm_pool_batch{4,8}``: the persistent shared-memory worker pool must
+  beat the pickle ``multiprocessing.Pool`` transport at batch <= 8.
+
+``--smoke`` runs everything with tiny repeat counts and exits 0 regardless
+of the measured ratios — the CI plumbing check, not a perf gate.
 """
 
 from __future__ import annotations
@@ -158,6 +169,144 @@ def planned_vs_eager_cases(repeats: int, warmup: int) -> dict:
     return results
 
 
+# --------------------------------------------------------------------------- #
+# Serving layer (repro.serve): compiled models and the shm worker pool
+# --------------------------------------------------------------------------- #
+def _paired_case(fast_fn, slow_fn, repeats: int, warmup: int,
+                 fast_key: str, slow_key: str, ratio_key: str) -> dict:
+    """Interleaved paired-round medians (same methodology as run_benchmarks)."""
+    for _ in range(warmup):
+        fast_fn()
+        slow_fn()
+    fast_times, slow_times = [], []
+    for _ in range(repeats):
+        fast_times.append(_timed_call(fast_fn))
+        slow_times.append(_timed_call(slow_fn))
+    ratios = [s / f for f, s in zip(fast_times, slow_times) if f > 0]
+    return {
+        fast_key: float(statistics.median(fast_times)),
+        slow_key: float(statistics.median(slow_times)),
+        ratio_key: float(statistics.median(ratios)),
+    }
+
+
+def _print_case(name: str, case: dict) -> None:
+    print(f"{name:32s} " + "  ".join(
+        f"{k}={v:.6f}" if k.endswith("_s") else
+        (f"{k}={v:.2f}x" if isinstance(v, float) else f"{k}={v}")
+        for k, v in case.items()))
+
+
+def _bind_per_layer_compiledconv(model) -> None:
+    """Replace every conv module's forward with a bound CompiledConv call.
+
+    This reconstructs the *pre-serve* way to serve a model: each convolution
+    goes through its own weight-bound :class:`repro.engine.CompiledConv`
+    (plans cached, weights pre-transformed), while BatchNorm / ReLU / pooling
+    / linear layers still execute through the eager module graph.
+    """
+    from repro.engine import CompiledConv
+    from repro.nn.layers import Conv2d
+
+    for module in model.modules():
+        if isinstance(module, Conv2d):
+            transform = ("F4" if module.kernel_size == 3 and module.stride == 1
+                         else None)
+            compiled = CompiledConv(
+                module.weight.data,
+                None if module.bias is None else module.bias.data,
+                stride=module.stride, padding=module.padding,
+                transform=transform)
+
+            def forward(x, _cc=compiled):
+                return Tensor(_cc(x.data))
+
+            module.forward = forward
+
+
+def serve_cases(repeats: int, warmup: int) -> dict:
+    """Benchmarks of the serving layer (PR 5), paired round by round.
+
+    * ``served_model_f4`` — a fully-optimised CompiledModel (BN folding,
+      ReLU fusion, workspace arena, bound weights) against the same network
+      served as **per-layer CompiledConv calls** (bound convolutions inside
+      the eager module graph — the pre-serve serving strategy).  The
+      ``per_layer_steps_s`` column is a tougher strawman: the same unfused
+      per-layer pipeline but with all the elementwise ops already in plain
+      numpy (``fold_bn=False, fuse_relu=False, use_arena=False``).
+    * ``shm_pool_batch{4,8}`` — BatchRunner's two transports head to head on
+      one bound F4 layer, persistent pools, same chunking.
+    """
+    from repro.engine import ConvJob, clear_plan_cache
+    from repro.models.resnet_cifar import resnet_tiny
+    from repro.nn.tensor import no_grad
+    from repro.serve import ShmWorkerPool, compile_model
+
+    results = {}
+    clear_plan_cache()
+
+    # -- CompiledModel vs per-layer CompiledConv ---------------------------- #
+    model = resnet_tiny(seed=0)
+    model.eval()
+    batch = _RNG.normal(size=(8, 3, 32, 32))
+    served = compile_model(model, (8, 3, 32, 32))
+    steps_baseline = compile_model(model, (8, 3, 32, 32), fold_bn=False,
+                                   fuse_relu=False, use_arena=False)
+    per_layer_model = resnet_tiny(seed=0)        # same weights (same seed)
+    per_layer_model.eval()
+    _bind_per_layer_compiledconv(per_layer_model)
+
+    def run_per_layer():
+        with no_grad():
+            per_layer_model(Tensor(batch))
+
+    case = _paired_case(lambda: served.infer(batch), run_per_layer,
+                        repeats, warmup, "served_s", "per_layer_s",
+                        "speedup_served_vs_per_layer")
+    steps_case = _paired_case(lambda: served.infer(batch),
+                              lambda: steps_baseline.infer(batch),
+                              repeats, warmup, "served_s", "per_layer_steps_s",
+                              "speedup_served_vs_steps")
+    case["per_layer_steps_s"] = steps_case["per_layer_steps_s"]
+    case["speedup_served_vs_steps"] = steps_case["speedup_served_vs_steps"]
+    results["served_model_f4"] = case
+    _print_case("served_model_f4", case)
+
+    # -- shm pool vs pickle BatchRunner ------------------------------------- #
+    job = ConvJob(weight=W, padding=1, transform="F4")
+    try:
+        shm_pool = ShmWorkerPool(job, num_workers=2)
+    except Exception as exc:  # pragma: no cover - sandboxed environments
+        results["shm_pool"] = {"skipped": f"{type(exc).__name__}: {exc}"}
+        print(f"shm pool benchmark skipped: {exc}")
+        return results
+    from repro.engine.runner import _init_worker, _pick_context, _run_chunk
+    ctx = _pick_context(None)
+    pickle_pool = ctx.Pool(2, initializer=_init_worker, initargs=(job,))
+    try:
+        for n in (4, 8):
+            x = _RNG.normal(size=(n, 32, 32, 32))
+            chunk = -(-n // 2)
+            chunks = [x[i:i + chunk] for i in range(0, n, chunk)]
+
+            def run_shm():
+                shm_pool.run(x, chunk_size=chunk)
+
+            def run_pickle():
+                np.concatenate(pickle_pool.map(_run_chunk, chunks), axis=0)
+
+            case = _paired_case(run_shm, run_pickle, repeats, warmup,
+                                "shm_s", "pickle_s",
+                                "speedup_shm_vs_pickle")
+            results[f"shm_pool_batch{n}"] = case
+            _print_case(f"shm_pool_batch{n}", case)
+    finally:
+        shm_pool.close()
+        pickle_pool.close()
+        pickle_pool.join()
+    return results
+
+
 def run_benchmarks(repeats: int, warmup: int) -> dict:
     backends = available_backends()
     results = {}
@@ -192,36 +341,61 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
     parser.add_argument("--output", default=os.path.join(os.path.dirname(_HERE),
                                                          "BENCH_kernels.json"))
+    parser.add_argument("--serve-output",
+                        default=os.path.join(os.path.dirname(_HERE),
+                                             "BENCH_serve.json"))
     parser.add_argument("--repeats", type=int, default=15)
     parser.add_argument("--warmup", type=int, default=2)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny repeat counts, no perf gating (CI plumbing "
+                             "check)")
     args = parser.parse_args(argv)
+    if args.smoke:
+        args.repeats = min(args.repeats, 3)
+        args.warmup = min(args.warmup, 1)
+
+    meta = {
+        "workload": {"input": list(X.shape), "weight": list(W.shape),
+                     "padding": 1},
+        "repeats": args.repeats,
+        "warmup": args.warmup,
+        "numpy": np.__version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
 
     results = run_benchmarks(args.repeats, args.warmup)
     results.update(planned_vs_eager_cases(args.repeats, args.warmup))
-    payload = {
-        "meta": {
-            "workload": {"input": list(X.shape), "weight": list(W.shape),
-                         "padding": 1},
-            "repeats": args.repeats,
-            "warmup": args.warmup,
-            "numpy": np.__version__,
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-        },
-        "results": results,
-    }
     with open(args.output, "w") as fh:
-        json.dump(payload, fh, indent=2)
+        json.dump({"meta": meta, "results": results}, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.output}")
+
+    serve_results = serve_cases(args.repeats, args.warmup)
+    with open(args.serve_output, "w") as fh:
+        json.dump({"meta": meta, "results": serve_results}, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.serve_output}")
 
     headline = results.get("winograd_f4_forward", {})
     speedup = headline.get("speedup_fast_vs_reference", 0.0)
     planned = results.get("planned_f4_forward", {}).get(
         "speedup_planned_vs_eager", 0.0)
+    served = serve_results.get("served_model_f4", {}).get(
+        "speedup_served_vs_per_layer", 0.0)
+    pool_cases = [case for name, case in serve_results.items()
+                  if name.startswith("shm_pool_batch")]
+    # No measured cases (shm skipped) must fail the gate, not pass vacuously.
+    pool_ok = bool(pool_cases) and all(
+        case.get("speedup_shm_vs_pickle", 0.0) > 1.0 for case in pool_cases)
     print(f"headline winograd_f4_forward speedup: {speedup:.2f}x (target >= 2x)")
     print(f"headline planned_f4_forward speedup:  {planned:.2f}x (target >= 1.3x)")
-    return 0 if (speedup >= 2.0 and planned >= 1.3) else 1
+    print(f"headline served_model_f4 speedup:     {served:.2f}x (target >= 1.2x)")
+    print(f"shm pool beats pickle at batch <= 8:  {pool_ok}")
+    if args.smoke:
+        return 0
+    return 0 if (speedup >= 2.0 and planned >= 1.3
+                 and served >= 1.2 and pool_ok) else 1
 
 
 if __name__ == "__main__":

@@ -101,6 +101,10 @@ def main() -> None:
     print(f"    ({system.plan_cache_size} layer plans cached; repeated "
           f"run_layer calls on the same shape reuse them)")
 
+    print("\nNext: whole-model serving — compilation, micro-batching and the "
+          "shared-memory\nworker pool live in repro.serve; see "
+          "examples/serve_demo.py for the walkthrough.")
+
 
 if __name__ == "__main__":
     main()

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .arena import ArenaPool, WorkspaceArena
 from .executor import CompiledConv, Executor, execute, execute_tensor
 from .plan import (PLAN_CACHE_MAXSIZE, LayerPlan, PlanStats, clear_plan_cache,
                    lower_conv2d, lower_winograd, plan_cache_stats,
@@ -38,6 +39,8 @@ from .plan import (PLAN_CACHE_MAXSIZE, LayerPlan, PlanStats, clear_plan_cache,
 from .runner import BatchRunner, ConvJob
 
 __all__ = [
+    "ArenaPool",
+    "WorkspaceArena",
     "LayerPlan",
     "PlanStats",
     "lower_winograd",

@@ -1,0 +1,144 @@
+"""Plan-keyed workspace arenas: reuse large buffers across inference calls.
+
+Execution plans (:class:`repro.engine.LayerPlan`) record the shape of every
+pipeline-stage array a layer materialises, but the executor historically
+allocated those arrays fresh on every call (ROADMAP open item).  For a
+serving loop that streams thousands of same-shape batches through a fixed
+plan, that is pure allocator traffic: the shapes never change.
+
+:class:`WorkspaceArena` is a dictionary of reusable buffers keyed by
+``(owner, stage)``:
+
+* ``owner`` — the ``slot`` argument when given (typically the executing
+  *step*, so two ResNet blocks with the *same* interned plan never scribble
+  over each other's buffers mid-network), else the plan itself.  Keying by
+  the stable slot rather than the plan matters for longevity: a backend
+  switch mints fresh plan objects for the same shapes, and slot-keyed
+  buffers simply get reused instead of accumulating per evicted plan.  The
+  arena keeps a strong reference to the owner so ids stay unique.
+* ``stage`` — the plan's workspace-stage name (``"padded"``, ``"out"``, ...),
+  whose shape defaults from ``plan.workspace``.
+
+A buffer is (re)allocated only when its shape or dtype changes — in steady
+state :meth:`get` performs a single dict lookup and returns the same array
+every call.  Arenas are deliberately **not** thread-safe: one arena belongs
+to one in-flight batch.  :class:`ArenaPool` hands out arenas under a lock so
+concurrent inference calls never share buffers.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+import numpy as np
+
+__all__ = ["WorkspaceArena", "ArenaPool"]
+
+
+class WorkspaceArena:
+    """Reusable workspace buffers keyed by ``(slot-or-plan, stage)``."""
+
+    def __init__(self) -> None:
+        self._buffers: dict[tuple, np.ndarray] = {}
+        self._owners: dict[tuple, object] = {}   # strong refs keep ids unique
+        self._ids: set[int] = set()
+
+    def get(self, plan, stage: str, shape: tuple | None = None,
+            dtype=np.float64, slot=None) -> np.ndarray:
+        """The reusable buffer for ``stage`` of ``plan`` (allocated on demand).
+
+        ``shape`` defaults to ``plan.workspace[stage]``.  The buffer contents
+        are *unspecified* — callers overwrite them entirely (use
+        :meth:`get_zeroed` for buffers whose halo must be zero).  Buffers are
+        keyed by ``slot`` (falling back to the plan) so a long-lived caller
+        owns exactly one buffer per stage, re-shaped in place when its plan
+        changes (new batch size, backend switch) rather than accumulated.
+        """
+        if shape is None:
+            shape = plan.workspace[stage]
+        owner = plan if slot is None else slot
+        key = (id(owner), stage)
+        buf = self._buffers.get(key)
+        if buf is None or buf.shape != tuple(shape) or buf.dtype != np.dtype(dtype):
+            if buf is not None:
+                self._ids.discard(id(buf))
+            buf = np.empty(tuple(shape), dtype=dtype)
+            self._buffers[key] = buf
+            self._owners[key] = owner
+            self._ids.add(id(buf))
+        return buf
+
+    def get_zeroed(self, plan, stage: str, shape: tuple | None = None,
+                   dtype=np.float64, slot=None) -> np.ndarray:
+        """Like :meth:`get` but with every element reset to zero."""
+        buf = self.get(plan, stage, shape, dtype, slot)
+        buf.fill(0)
+        return buf
+
+    def owns(self, array: np.ndarray) -> bool:
+        """True when ``array`` is (a view into) one of this arena's buffers."""
+        seen = array
+        while seen is not None:
+            if id(seen) in self._ids:
+                return True
+            seen = getattr(seen, "base", None)
+        return False
+
+    def clear(self) -> None:
+        self._buffers.clear()
+        self._owners.clear()
+        self._ids.clear()
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the arena."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkspaceArena({len(self)} buffers, {self.nbytes} bytes)"
+
+
+class ArenaPool:
+    """A lock-protected free list of :class:`WorkspaceArena` instances.
+
+    Concurrent inference calls each lease their own arena, so in-flight
+    batches never share workspace buffers; when a call finishes its arena
+    (with its warm buffers) goes back on the free list for the next call.
+    """
+
+    def __init__(self) -> None:
+        self._free: list[WorkspaceArena] = []
+        self._all: list[WorkspaceArena] = []
+        self._lock = threading.Lock()
+
+    @property
+    def created(self) -> int:
+        """Number of distinct arenas ever created (== peak concurrency)."""
+        return len(self._all)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(arena.nbytes for arena in self._all)
+
+    @contextlib.contextmanager
+    def lease(self):
+        """Context manager yielding an arena exclusive to this caller."""
+        with self._lock:
+            arena = self._free.pop() if self._free else None
+            if arena is None:
+                arena = WorkspaceArena()
+                self._all.append(arena)
+        try:
+            yield arena
+        finally:
+            with self._lock:
+                self._free.append(arena)
+
+    def clear(self) -> None:
+        with self._lock:
+            for arena in self._all:
+                arena.clear()

@@ -10,9 +10,19 @@ parent uses, a worker lowers each input shape once and every later chunk is a
 cache hit: workers never re-lower, and with the (default, where available)
 ``fork`` start method they even inherit plans the parent had already lowered.
 
-``num_workers=0`` executes inline in the calling process — same results, no
-processes — which is the right default for small batches (process transport
-costs real time; sharding pays off for large batches / many-core boxes).
+Two transports are available for ``num_workers > 0``:
+
+* ``"shm"`` (default where available) — delegate to
+  :class:`repro.serve.ShmWorkerPool`: long-lived workers fed through
+  ``multiprocessing.shared_memory`` ring buffers, so array bytes cross the
+  process boundary as one memcpy each way instead of a pickle round trip.
+  This makes sharding pay off at much smaller batch sizes.
+* ``"pickle"`` — the original ``multiprocessing.Pool`` transport, kept as
+  the portable fallback (and for equivalence testing).
+
+``transport="auto"`` tries shared memory and quietly falls back to pickle on
+platforms without it.  ``num_workers=0`` executes inline in the calling
+process — same results, no processes.
 """
 
 from __future__ import annotations
@@ -87,19 +97,40 @@ class BatchRunner:
     mp_context:
         multiprocessing start method (``"fork"``/``"spawn"``/...); default
         prefers ``fork`` so workers inherit the parent's warm caches.
+    transport:
+        ``"shm"`` (shared-memory worker pool), ``"pickle"`` (the original
+        ``multiprocessing.Pool``), or ``"auto"`` (default: shared memory
+        where available, pickle otherwise).
     """
 
     def __init__(self, job: ConvJob, num_workers: int = 0,
-                 chunk_size: int | None = None, mp_context: str | None = None):
+                 chunk_size: int | None = None, mp_context: str | None = None,
+                 transport: str = "auto"):
+        if transport not in ("auto", "shm", "pickle"):
+            raise ValueError(f"unknown transport {transport!r}; "
+                             "expected 'auto', 'shm' or 'pickle'")
         self.job = job
         self.num_workers = int(num_workers)
         self.chunk_size = chunk_size
+        self.transport = "inline"
         self._pool = None
+        self._shm_pool = None
         self._local: CompiledConv | None = None   # compiled lazily on first use
         if self.num_workers > 0:
-            ctx = _pick_context(mp_context)
-            self._pool = ctx.Pool(self.num_workers, initializer=_init_worker,
-                                  initargs=(job,))
+            if transport in ("auto", "shm"):
+                try:
+                    from ..serve.pool import ShmWorkerPool
+                    self._shm_pool = ShmWorkerPool(job, self.num_workers,
+                                                   mp_context=mp_context)
+                    self.transport = "shm"
+                except Exception:
+                    if transport == "shm":
+                        raise
+            if self._shm_pool is None:
+                ctx = _pick_context(mp_context)
+                self._pool = ctx.Pool(self.num_workers,
+                                      initializer=_init_worker, initargs=(job,))
+                self.transport = "pickle"
 
     def _local_conv(self) -> CompiledConv:
         if self._local is None:
@@ -110,6 +141,12 @@ class BatchRunner:
     def run(self, x: np.ndarray) -> np.ndarray:
         """One (possibly large) batch, sharded along the batch axis."""
         x = np.asarray(x)
+        if x.shape[0] == 0:
+            # Empty batch: no shards, no worker round trips — the inline
+            # executor already produces the correctly-shaped empty output.
+            return self._local_conv()(x)
+        if self._shm_pool is not None:
+            return self._shm_pool.run(x, chunk_size=self.chunk_size)
         if self._pool is None:
             return self._local_conv()(x)
         n = x.shape[0]
@@ -120,18 +157,27 @@ class BatchRunner:
 
     def map(self, inputs) -> list[np.ndarray]:
         """A stream of independent input arrays (one result per input)."""
+        inputs = [np.asarray(x) for x in inputs]
+        if not inputs:
+            return []
+        if self._shm_pool is not None:
+            return self._shm_pool.map(inputs)
         if self._pool is None:
             local = self._local_conv()
-            return [local(np.asarray(x)) for x in inputs]
-        return self._pool.map(_run_chunk, [np.asarray(x) for x in inputs])
+            return [local(x) for x in inputs]
+        return self._pool.map(_run_chunk, inputs)
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:
         """Shut the pool down; later calls execute inline (compiled lazily)."""
+        if self._shm_pool is not None:
+            self._shm_pool.close()
+            self._shm_pool = None
         if self._pool is not None:
             self._pool.close()
             self._pool.join()
             self._pool = None
+        self.transport = "inline"
 
     def __enter__(self) -> "BatchRunner":
         return self

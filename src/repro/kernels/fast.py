@@ -236,7 +236,8 @@ def transform_weights_tap_major(weight: np.ndarray, transform) -> np.ndarray:
 
 def winograd_forward(x_padded: np.ndarray, weight: np.ndarray, transform,
                      out_h: int, out_w: int,
-                     w_r: np.ndarray | None = None) -> np.ndarray:
+                     w_r: np.ndarray | None = None,
+                     out: np.ndarray | None = None) -> np.ndarray:
     """Whole Winograd pipeline on the already-padded input, without bias.
 
     This is the dataflow the accelerator actually runs (Listing 1 of the
@@ -252,6 +253,10 @@ def winograd_forward(x_padded: np.ndarray, weight: np.ndarray, transform,
     with one gather (the tile view) in front and one scatter (the output
     permutation) behind.  The pipeline is blocked over rows of Winograd
     tiles so the whole working set stays cache-resident.
+
+    ``out`` optionally supplies the *uncropped* ``(N, Cout, n_h*m, n_w*m)``
+    output workspace (e.g. from a :class:`repro.engine.WorkspaceArena`), so
+    steady-state serving loops do zero fresh large allocations here.
     """
     m, r, a = transform.m, transform.r, transform.alpha
     n, cin, hp, wp = x_padded.shape
@@ -265,7 +270,12 @@ def winograd_forward(x_padded: np.ndarray, weight: np.ndarray, transform,
         w_r = transform_weights_tap_major(weight, transform)
 
     out_dtype = np.result_type(x_padded.dtype, w_r.dtype)
-    out = np.empty((n, cout, n_h * m, n_w * m), dtype=out_dtype)
+    full_shape = (n, cout, n_h * m, n_w * m)
+    if out is None:
+        out = np.empty(full_shape, dtype=out_dtype)
+    elif out.shape != full_shape or out.dtype != out_dtype:
+        raise ValueError(f"out workspace must be {full_shape} of {out_dtype}, "
+                         f"got {out.shape} of {out.dtype}")
 
     # Rows of Winograd tiles per block, sized to keep the gathered tile
     # block around _BLOCK_BYTES.
@@ -464,8 +474,14 @@ def col2im(cols: np.ndarray, input_shape: tuple[int, int, int, int],
     return x
 
 
-def conv2d_gemm(w2d: np.ndarray, cols: np.ndarray) -> np.ndarray:
-    """``(O, K) @ (N, K, P) -> (N, O, P)`` — one BLAS GEMM per batch item."""
+def conv2d_gemm(w2d: np.ndarray, cols: np.ndarray,
+                out: np.ndarray | None = None) -> np.ndarray:
+    """``(O, K) @ (N, K, P) -> (N, O, P)`` — one BLAS GEMM per batch item.
+
+    ``out`` optionally supplies the ``(N, O, P)`` result workspace.
+    """
+    if out is not None:
+        return np.matmul(w2d, cols, out=out)
     return np.matmul(w2d, cols)
 
 

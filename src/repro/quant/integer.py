@@ -122,14 +122,32 @@ def integer_winograd_conv2d(x: np.ndarray, weight: np.ndarray,
                             spatial_bits: int = 8, wino_bits: int = 8,
                             padding: int = 1,
                             return_stats: bool = False,
-                            backend: str | KernelBackend | None = None):
+                            backend: str | KernelBackend | None = None,
+                            plan=None):
     """Run the tap-wise quantized Winograd convolution with integer arithmetic.
 
     Returns the floating-point output (after the final de-quantization) and,
     optionally, statistics about the integer intermediates (used to check the
     accumulator bit widths the hardware needs).
+
+    The geometry (padding spec, tile counts, output size) comes from a cached
+    :class:`~repro.engine.LayerPlan`: pass one via ``plan`` (it takes
+    precedence over ``transform``/``padding``/``backend``), or let the
+    function lower/look one up in the shared plan cache keyed by this layer's
+    quantization parameters.  Either way repeated same-shape calls — the
+    accelerator simulation sweeps — reuse interned geometry and the cached
+    integer ``BT`` matrices instead of re-deriving them, and the arithmetic
+    is bit-identical to the historical unplanned path.
     """
-    be = get_backend(backend)
+    from .. import engine
+
+    if plan is None:
+        plan = engine.lower_winograd(
+            x.shape, weight.shape, transform, padding, backend=backend,
+            quant={"path": "integer", "spatial_bits": spatial_bits,
+                   "wino_bits": wino_bits})
+    be = plan.backend
+    transform = plan.transform
     m, r = transform.m, transform.r
     cout = weight.shape[0]
     qmin_s, qmax_s = quant_range(spatial_bits)
@@ -142,8 +160,10 @@ def integer_winograd_conv2d(x: np.ndarray, weight: np.ndarray,
 
     # Input transform: BT x B computed exactly on integers (BT is integer for
     # F2/F4; the cached int64 variant keeps the path integral end-to-end),
-    # then requantized tap-wise to `wino_bits`.
-    padded, out_h, out_w = pad_for_tiling(x_int, m, r, padding)
+    # then requantized tap-wise to `wino_bits`.  The pad spec and the output
+    # crop come straight off the plan (dtype-preserving: int stays int).
+    out_h, out_w = plan.out_h, plan.out_w
+    padded = np.pad(x_int, plan.pad_width) if plan.pad_width is not None else x_int
     tiles = be.extract_tiles(padded, m, r)
     bt_int = integer_transform_matrices(transform).BT
     if bt_int is None:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..kernels import KernelBackend
+from ..kernels import KernelBackend, get_backend
 from ..nn import functional as F
 from ..nn import init
 from ..nn.module import Module, Parameter
@@ -57,6 +57,22 @@ class QuantConv2d(Module):
         wq = self.weight_quant(self.weight)
         return F.conv2d(xq, wq, self.bias, stride=self.stride,
                         padding=self.padding, backend=self.backend)
+
+    # ------------------------------------------------------------------ #
+    # Serving support (repro.serve compiled models)
+    # ------------------------------------------------------------------ #
+    def is_calibrated(self) -> bool:
+        """True once every quantizer has a frozen/observed scale."""
+        return self.weight_quant.has_scale() and self.act_quant.has_scale()
+
+    def bind_inference_weights(self, backend: str | KernelBackend | None = None
+                               ) -> np.ndarray:
+        """Eval-mode fake-quantized weights, snapshot for a compiled model.
+
+        Bit-identical to what the eval forward would feed its convolution.
+        """
+        del backend  # the spatial fake-quant is backend-independent
+        return self.weight_quant.fake_quantize_array(self.weight.data)
 
     @classmethod
     def from_float(cls, conv, weight_bits: int = 8, act_bits: int = 8,
@@ -229,6 +245,33 @@ class QuantWinogradConv2d(Module):
             weight_tile_hook=self.weight_wino_quant,
             plan=self.plan_for(x.shape),
         )
+
+    # ------------------------------------------------------------------ #
+    # Serving support (repro.serve compiled models)
+    # ------------------------------------------------------------------ #
+    def is_calibrated(self) -> bool:
+        """True once every active quantizer has a frozen/observed scale."""
+        quants = [self.input_wino_quant, self.weight_wino_quant]
+        if self.act_quant is not None:
+            quants += [self.act_quant, self.weight_quant]
+        return all(q.has_scale() for q in quants)
+
+    def bind_inference_weights(self, backend: str | KernelBackend | None = None
+                               ) -> tuple[np.ndarray, np.ndarray]:
+        """Quantized spatial and Winograd-domain weights for serving.
+
+        Returns ``(w_hat, weight_wino_q)`` — the fake-quantized spatial
+        weights and their tap-wise fake-quantized ``G f GT`` image, computed
+        with the same backend primitives (and the same frozen scales) the
+        eval-mode forward uses, so a compiled model replaying the pipeline
+        from this snapshot is bit-identical to the live layer.
+        """
+        be = get_backend(backend if backend is not None else self.backend)
+        w = self.weight.data
+        if self.weight_quant is not None:
+            w = self.weight_quant.fake_quantize_array(w)
+        w_wino = be.apply_transform_pair(w, self.transform.G, self.transform.G.T)
+        return w, self.weight_wino_quant.fake_quantize_array(w_wino)
 
     # ------------------------------------------------------------------ #
     # Conversion

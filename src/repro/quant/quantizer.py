@@ -183,6 +183,21 @@ class Quantizer(Module):
             self.observer.update(x.data)
         return fake_quantize(x, self.scale(), self.n_bits, self.signed, self.ste)
 
+    def fake_quantize_array(self, x: np.ndarray) -> np.ndarray:
+        """Eval-mode fake quantization on a plain ndarray (no graph, no stats).
+
+        Uses the frozen (calibrated or learned) scale and the exact arithmetic
+        of the Tensor forward — ``clip(rint(x / s)) * s`` — so the result is
+        bit-identical to calling the module in eval mode.  Used by the serving
+        layer (:mod:`repro.serve`) to replay quantized layers from a compiled
+        snapshot.  Requires :meth:`has_scale`.
+        """
+        if not self.enabled:
+            return np.asarray(x)
+        scale = self.scale()
+        qmin, qmax = quant_range(self.n_bits, self.signed)
+        return np.clip(np.rint(np.asarray(x) / scale), qmin, qmax) * scale
+
     # ------------------------------------------------------------------ #
     # Integer helpers (for integer-only inference simulation)
     # ------------------------------------------------------------------ #

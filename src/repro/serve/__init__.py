@@ -1,0 +1,37 @@
+"""Model-level inference serving (PR 5).
+
+The engine layer (PR 2) made single layers cheap to re-execute: lower once to
+a cached :class:`~repro.engine.LayerPlan`, stream batches through it.  This
+package scales that idea to whole models under load — the paper's
+deployment-time story (plan everything once, then saturate fixed-shape
+pipelines with traffic):
+
+* :func:`compile_model` / :class:`CompiledModel` — lower an ``nn.Module``
+  network into an immutable sequence of plan-bound steps with
+  pre-transformed weights, folded BatchNorm, fused ReLU, and a plan-keyed
+  workspace arena (zero fresh large allocations in steady state).
+* :class:`MicroBatcher` / :class:`InferenceRequest` — dynamic micro-batching
+  with per-shape queues and a configurable latency deadline.
+* :class:`ShmWorkerPool` — persistent worker processes fed through
+  ``multiprocessing.shared_memory`` ring buffers instead of pickle;
+  :class:`repro.engine.BatchRunner` delegates to it by default.
+* :class:`Server` — a synchronous facade with ``submit`` / ``infer`` /
+  ``infer_batch``, p50/p99 latency and throughput stats, and graceful
+  shutdown.
+"""
+
+from .batcher import InferenceRequest, MicroBatcher
+from .model import CompiledModel, compile_model, register_compiler
+from .pool import ShmWorkerPool
+from .server import Server, ServerStats
+
+__all__ = [
+    "CompiledModel",
+    "compile_model",
+    "register_compiler",
+    "InferenceRequest",
+    "MicroBatcher",
+    "ShmWorkerPool",
+    "Server",
+    "ServerStats",
+]

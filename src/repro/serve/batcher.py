@@ -1,0 +1,163 @@
+"""Dynamic micro-batching: coalesce single-image requests into batches.
+
+The accelerator (and the compiled serving pipeline built on its plans) is at
+its best streaming *batches* through a fixed-shape plan; single-image
+requests waste it.  :class:`MicroBatcher` sits between callers and the
+execution engine:
+
+* :meth:`submit` enqueues one request (a ``(C, H, W)`` image) and returns an
+  :class:`InferenceRequest` handle immediately;
+* requests are grouped in **per-shape queues** — mixed-resolution traffic
+  never blocks a full batch of another shape behind it (each shape has its
+  own plan anyway);
+* a batch is released as soon as a shape queue reaches ``max_batch_size``
+  **or** its oldest request has waited ``max_delay_ms`` (the latency
+  deadline), whichever comes first.
+
+The batcher is transport-agnostic: :class:`repro.serve.Server` drains it
+with worker threads that stack each batch and run it through a
+:class:`~repro.serve.CompiledModel` (or any callable).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+
+import numpy as np
+
+__all__ = ["InferenceRequest", "MicroBatcher"]
+
+
+class InferenceRequest:
+    """Handle for one submitted image; fulfilled by the serving loop."""
+
+    def __init__(self, x: np.ndarray):
+        self.x = np.asarray(x)
+        self.submitted_at = time.perf_counter()
+        self.completed_at: float | None = None
+        self._event = threading.Event()
+        self._result: np.ndarray | None = None
+        self._error: BaseException | None = None
+
+    # -- caller side ----------------------------------------------------- #
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        """Block until the result is available (raises on server error)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("inference request not completed in time")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    @property
+    def latency_s(self) -> float | None:
+        """Submit-to-completion wall time, once done."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    # -- server side ----------------------------------------------------- #
+    def set_result(self, value: np.ndarray) -> None:
+        self._result = value
+        self.completed_at = time.perf_counter()
+        self._event.set()
+
+    def set_error(self, exc: BaseException) -> None:
+        self._error = exc
+        self.completed_at = time.perf_counter()
+        self._event.set()
+
+
+class MicroBatcher:
+    """Per-shape request queues with a batch-size/deadline release policy."""
+
+    def __init__(self, max_batch_size: int = 8, max_delay_ms: float = 2.0):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self.max_batch_size = int(max_batch_size)
+        self.max_delay_s = float(max_delay_ms) / 1000.0
+        self._queues: OrderedDict[tuple, deque[InferenceRequest]] = OrderedDict()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def submit(self, x: np.ndarray) -> InferenceRequest:
+        """Enqueue one ``(C, H, W)`` image; returns its request handle."""
+        request = InferenceRequest(x)
+        key = (request.x.shape, request.x.dtype.str)
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            self._queues.setdefault(key, deque()).append(request)
+            self._cond.notify_all()
+        return request
+
+    def pending(self) -> int:
+        with self._cond:
+            return sum(len(q) for q in self._queues.values())
+
+    # ------------------------------------------------------------------ #
+    def _ready_key(self, now: float) -> tuple | None:
+        """A shape key whose queue is full or past its latency deadline."""
+        for key, queue in self._queues.items():
+            if len(queue) >= self.max_batch_size:
+                return key
+        for key, queue in self._queues.items():
+            if queue and now - queue[0].submitted_at >= self.max_delay_s:
+                return key
+        return None
+
+    def _next_deadline(self, now: float) -> float | None:
+        deadlines = [q[0].submitted_at + self.max_delay_s
+                     for q in self._queues.values() if q]
+        if not deadlines:
+            return None
+        return max(min(deadlines) - now, 0.0)
+
+    def next_batch(self, timeout: float | None = None
+                   ) -> list[InferenceRequest] | None:
+        """Block until a batch is ready; ``None`` on timeout or drained-close.
+
+        All returned requests share one shape/dtype, at most
+        ``max_batch_size`` of them, FIFO within their shape queue.
+        """
+        end = None if timeout is None else time.perf_counter() + timeout
+        with self._cond:
+            while True:
+                now = time.perf_counter()
+                key = self._ready_key(now)
+                if key is None and self._closed:
+                    # Drain leftovers on shutdown, deadline notwithstanding.
+                    key = next((k for k, q in self._queues.items() if q), None)
+                    if key is None:
+                        return None
+                if key is not None:
+                    queue = self._queues[key]
+                    batch = [queue.popleft()
+                             for _ in range(min(len(queue),
+                                                self.max_batch_size))]
+                    if not queue:
+                        del self._queues[key]
+                    return batch
+                wait = self._next_deadline(now)
+                if end is not None:
+                    remaining = end - now
+                    if remaining <= 0:
+                        return None
+                    wait = remaining if wait is None else min(wait, remaining)
+                self._cond.wait(wait)
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop accepting submissions; wake consumers so they can drain."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

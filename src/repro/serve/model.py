@@ -1,0 +1,688 @@
+"""Whole-model compilation: lower an ``nn.Module`` network into serving steps.
+
+:func:`compile_model` walks a model built from this library's layers and
+lowers it into a :class:`CompiledModel` — an immutable sequence of execution
+steps, each bound to its cached :class:`~repro.engine.LayerPlan` and
+pre-transformed weights, mirroring what the paper's accelerator does at
+deployment time: plan every layer once, then stream batches through fixed
+pipelines.
+
+What compilation buys over calling the module graph layer by layer:
+
+* **Weight binding** — every convolution's weights are transformed once into
+  the layout its kernel executes (tap-major Winograd ``w_r`` on the fast
+  backend, the GEMM matrix for im2col), exactly like
+  :class:`~repro.engine.CompiledConv` but for the whole network.
+* **BatchNorm folding** — in eval mode a ``Conv2d -> BatchNorm2d`` pair
+  collapses into one convolution with rescaled weights and a fused bias
+  (``fold_bn=True``), deleting the BN pass entirely.
+* **ReLU fusion** — a ReLU following a convolution / BN / residual add is
+  applied in place on the producer's output buffer (``fuse_relu=True``).
+* **Workspace arena** — per-step pipeline buffers come from a plan-keyed
+  :class:`~repro.engine.WorkspaceArena`, so steady-state inference does zero
+  fresh large allocations.  Concurrent ``infer`` calls lease distinct arenas
+  from an :class:`~repro.engine.ArenaPool` (in-flight batches never share
+  buffers).
+* **Quantized layers** — calibrated :class:`~repro.quant.QuantConv2d` /
+  :class:`~repro.quant.QuantWinogradConv2d` layers compile to steps that
+  replay the eager fake-quantized pipeline bit-exactly from frozen scales
+  and pre-quantized Winograd-domain weights.
+
+The compiled model follows the process-wide kernel backend dynamically: when
+:func:`repro.kernels.set_backend` switches backends mid-serve, the shared
+plan cache is evicted (PR 2) and each step transparently re-lowers and
+re-binds against the new backend on its next call — never returning results
+computed with a stale backend.
+
+Modules with data flow the walker cannot see (unknown user modules) become
+*opaque* steps that call the module's own eval-mode forward, so compilation
+never changes results — only how fast the known structure runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import engine
+from ..engine.arena import ArenaPool, WorkspaceArena
+from ..kernels import KernelBackend, get_backend
+from ..nn import layers as L
+from ..nn.module import Module, ModuleList, Sequential
+from ..nn.tensor import Tensor, no_grad
+from ..quant.qconv import QuantConv2d, QuantWinogradConv2d
+from ..winograd.tiling import assemble_output_tiles, pad_for_tiling
+from ..winograd.transforms import WinogradTransform, get_transform
+
+__all__ = ["CompiledModel", "compile_model", "register_compiler"]
+
+
+def _relu_(x: np.ndarray, in_place: bool) -> np.ndarray:
+    if in_place:
+        return np.maximum(x, 0.0, out=x)
+    return np.maximum(x, 0.0)
+
+
+# --------------------------------------------------------------------------- #
+# Steps
+# --------------------------------------------------------------------------- #
+class _Step:
+    """One unit of compiled execution: ``run(x, arena) -> ndarray``.
+
+    ``arena`` is ``None`` when the model was compiled with ``use_arena=False``
+    (steps then allocate fresh outputs, like the eager per-layer path).
+    """
+
+    fused_relu = False
+
+    def run(self, x: np.ndarray, arena: WorkspaceArena | None) -> np.ndarray:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+def _supports_kwarg(fn, name: str) -> bool:
+    import inspect
+    try:
+        return name in inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+
+
+class _ConvStep(_Step):
+    """A float convolution bound to plan + pre-transformed weights.
+
+    ``backend_arg`` of ``None`` means *follow the process-wide backend*: the
+    step re-resolves it per call and re-binds its weights whenever the
+    effective backend changes (the plan cache was evicted at the same moment,
+    so the re-lowering below compiles fresh plans for the new backend).
+    """
+
+    def __init__(self, weight: np.ndarray, bias: np.ndarray | None, *,
+                 stride: int = 1, padding: int = 0,
+                 transform: WinogradTransform | None = None,
+                 backend_arg: str | KernelBackend | None = None,
+                 relu: bool = False):
+        self.weight = np.ascontiguousarray(weight, dtype=np.float64)
+        self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
+        self.stride = stride
+        self.padding = padding
+        self.transform = transform
+        self.kind = "winograd" if transform is not None else "im2col"
+        self.backend_arg = backend_arg
+        self.fused_relu = relu
+        self._be: KernelBackend | None = None
+        self._w_r = None            # tap-major Winograd weights (fused kernel)
+        self._weight_wino = None    # (Cout,Cin,a,a) Winograd weights (composed)
+        self._w2d = None            # (Cout, Cin*kh*kw) GEMM weights (im2col)
+        self._fused_out = False     # backend's winograd_forward accepts out=
+        self._gemm_out = False      # backend's conv2d_gemm accepts out=
+
+    # -- binding ---------------------------------------------------------- #
+    def _bind(self, be: KernelBackend) -> None:
+        t = self.transform
+        if self.kind == "winograd":
+            self._weight_wino = be.apply_transform_pair(self.weight, t.G, t.G.T)
+            self._w_r = None
+            self._fused_out = False
+            if be.winograd_forward is not None and \
+                    _supports_kwarg(be.winograd_forward, "w_r"):
+                a = t.alpha
+                cout, cin = self.weight.shape[0], self.weight.shape[1]
+                self._w_r = np.ascontiguousarray(
+                    self._weight_wino.transpose(2, 3, 0, 1)).reshape(a * a, cout, cin)
+                self._fused_out = _supports_kwarg(be.winograd_forward, "out")
+        else:
+            self._w2d = np.ascontiguousarray(
+                self.weight.reshape(self.weight.shape[0], -1))
+            self._gemm_out = _supports_kwarg(be.conv2d_gemm, "out")
+        self._be = be
+
+    def _backend(self) -> KernelBackend:
+        be = get_backend(self.backend_arg)
+        if be is not self._be:
+            self._bind(be)
+        return be
+
+    def plan_for(self, in_shape: tuple, be: KernelBackend):
+        if self.kind == "winograd":
+            return engine.lower_winograd(in_shape, self.weight.shape,
+                                         self.transform, self.padding, backend=be)
+        return engine.lower_conv2d(in_shape, self.weight.shape, self.stride,
+                                   self.padding, backend=be)
+
+    # -- execution -------------------------------------------------------- #
+    def _finish(self, out: np.ndarray, owned: bool) -> np.ndarray:
+        if self.bias is not None:
+            if owned:
+                out += self.bias.reshape(1, -1, 1, 1)
+            else:
+                out = out + self.bias.reshape(1, -1, 1, 1)
+                owned = True
+        if self.fused_relu:
+            out = _relu_(out, in_place=owned)
+        return out
+
+    def run(self, x: np.ndarray, arena: WorkspaceArena | None) -> np.ndarray:
+        be = self._backend()
+        plan = self.plan_for(x.shape, be)
+        if arena is None:
+            out = engine.execute(plan, x, self.weight, w_r=self._w_r,
+                                 weight_wino=self._weight_wino)
+            return self._finish(out, owned=True)
+        if self.kind == "winograd" and self._w_r is not None and self._fused_out:
+            return self._winograd_arena(plan, x, be, arena)
+        if self.kind == "im2col" and self._gemm_out:
+            return self._im2col_arena(plan, x, be, arena)
+        # Composed fallback (e.g. reference backend): correctness over reuse.
+        out = engine.execute(plan, x, self.weight, w_r=self._w_r,
+                             weight_wino=self._weight_wino)
+        return self._finish(out, owned=True)
+
+    def _winograd_arena(self, plan, x: np.ndarray, be: KernelBackend,
+                        arena: WorkspaceArena) -> np.ndarray:
+        t = plan.transform
+        if plan.pad_width is not None and \
+                any(p for pair in plan.pad_width for p in pair):
+            padded = arena.get(plan, "padded", dtype=x.dtype, slot=self)
+            (_, _), (_, _), (pt, pb), (pl, pr) = plan.pad_width
+            h, w = plan.in_shape[2], plan.in_shape[3]
+            # Zero only the halo (the interior is overwritten right after).
+            if pt:
+                padded[:, :, :pt].fill(0)
+            if pb:
+                padded[:, :, pt + h:].fill(0)
+            if pl:
+                padded[:, :, pt:pt + h, :pl].fill(0)
+            if pr:
+                padded[:, :, pt:pt + h, pl + w:].fill(0)
+            padded[:, :, pt:pt + h, pl:pl + w] = x
+        else:
+            padded = x
+        full_h, full_w = plan.n_h * t.m, plan.n_w * t.m
+        n, cout = plan.in_shape[0], plan.weight_shape[0]
+        full = arena.get(plan, "out_full", shape=(n, cout, full_h, full_w),
+                         slot=self)
+        # Ask the kernel for the uncropped output (out_h == full_h) so it
+        # writes straight into the arena buffer; crop here if needed.
+        full = be.winograd_forward(padded, self.weight, t, full_h, full_w,
+                                   w_r=self._w_r, out=full)
+        if (full_h, full_w) == (plan.out_h, plan.out_w):
+            out = full
+        else:
+            out = arena.get(plan, "out", slot=self)
+            np.copyto(out, full[:, :, :plan.out_h, :plan.out_w])
+        return self._finish(out, owned=True)
+
+    def _im2col_arena(self, plan, x: np.ndarray, be: KernelBackend,
+                      arena: WorkspaceArena) -> np.ndarray:
+        kh, kw = plan.weight_shape[2], plan.weight_shape[3]
+        cols = be.im2col(x, (kh, kw), plan.stride, plan.padding)
+        gemm_out = arena.get(plan, "gemm_out", shape=plan.workspace["cols"][:1]
+                             + (plan.weight_shape[0], plan.out_h * plan.out_w),
+                             slot=self)
+        out = be.conv2d_gemm(self._w2d, cols, out=gemm_out)
+        return self._finish(out.reshape(plan.out_shape), owned=True)
+
+    def describe(self) -> str:
+        tname = self.transform.name if self.transform is not None else "im2col"
+        return (f"conv[{tname}] {self.weight.shape} s={self.stride} "
+                f"p={self.padding}" + (" +relu" if self.fused_relu else ""))
+
+
+class _BNStep(_Step):
+    """Eval-mode BatchNorm as a per-channel affine ``y = x*scale + shift``."""
+
+    def __init__(self, scale: np.ndarray, shift: np.ndarray, relu: bool = False):
+        self.scale = np.asarray(scale, dtype=np.float64).reshape(1, -1, 1, 1)
+        self.shift = np.asarray(shift, dtype=np.float64).reshape(1, -1, 1, 1)
+        self.fused_relu = relu
+
+    def run(self, x: np.ndarray, arena: WorkspaceArena | None) -> np.ndarray:
+        out = x * self.scale
+        out += self.shift
+        return _relu_(out, in_place=True) if self.fused_relu else out
+
+
+class _ReluStep(_Step):
+    def run(self, x: np.ndarray, arena: WorkspaceArena | None) -> np.ndarray:
+        return _relu_(x, in_place=arena is not None and arena.owns(x))
+
+
+def _pool_windows(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    n, c, h, w = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    s0, s1, s2, s3 = x.strides
+    return np.lib.stride_tricks.as_strided(
+        x, shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3), writeable=False)
+
+
+class _PoolStep(_Step):
+    def __init__(self, kind: str, kernel: int, stride: int):
+        self.kind = kind
+        self.kernel = kernel
+        self.stride = stride
+
+    def run(self, x: np.ndarray, arena: WorkspaceArena | None) -> np.ndarray:
+        windows = _pool_windows(x, self.kernel, self.stride)
+        if self.kind == "max":
+            return windows.max(axis=(-1, -2))
+        return windows.mean(axis=(-1, -2))
+
+    def describe(self) -> str:
+        return f"{self.kind}_pool k={self.kernel} s={self.stride}"
+
+
+class _GlobalAvgPoolStep(_Step):
+    def run(self, x: np.ndarray, arena: WorkspaceArena | None) -> np.ndarray:
+        return x.mean(axis=(2, 3))
+
+
+class _FlattenStep(_Step):
+    def __init__(self, start_dim: int = 1):
+        self.start_dim = start_dim
+
+    def run(self, x: np.ndarray, arena: WorkspaceArena | None) -> np.ndarray:
+        return np.ascontiguousarray(x).reshape(x.shape[:self.start_dim] + (-1,))
+
+
+class _LinearStep(_Step):
+    def __init__(self, weight: np.ndarray, bias: np.ndarray | None,
+                 relu: bool = False):
+        self.w_t = np.ascontiguousarray(np.asarray(weight, dtype=np.float64).T)
+        self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
+        self.fused_relu = relu
+
+    def run(self, x: np.ndarray, arena: WorkspaceArena | None) -> np.ndarray:
+        if arena is not None:
+            out = arena.get(self, "out", shape=(x.shape[0], self.w_t.shape[1]),
+                            dtype=np.result_type(x.dtype, self.w_t.dtype))
+            np.matmul(x, self.w_t, out=out)
+        else:
+            out = x @ self.w_t
+        if self.bias is not None:
+            out += self.bias
+        return _relu_(out, in_place=True) if self.fused_relu else out
+
+    def describe(self) -> str:
+        return f"linear {self.w_t.shape[::-1]}" + (" +relu" if self.fused_relu else "")
+
+
+class _ResidualStep(_Step):
+    """``relu(body(x) + shortcut(x))`` — the BasicBlock of ResNet-CIFAR."""
+
+    def __init__(self, body: list[_Step], shortcut: list[_Step],
+                 relu: bool = True):
+        self.body = tuple(body)
+        self.shortcut = tuple(shortcut)
+        self.fused_relu = relu
+
+    def run(self, x: np.ndarray, arena: WorkspaceArena | None) -> np.ndarray:
+        identity = x
+        for step in self.shortcut:
+            identity = step.run(identity, arena)
+        out = x
+        for step in self.body:
+            out = step.run(out, arena)
+        if arena is not None and arena.owns(out):
+            out += identity
+        else:
+            out = out + identity
+        return _relu_(out, in_place=True) if self.fused_relu else out
+
+    def describe(self) -> str:
+        inner = ", ".join(s.describe() for s in self.body)
+        return f"residual[{inner}]"
+
+
+class _OpaqueStep(_Step):
+    """Fallback: run the live module's own forward in eval mode, no grad.
+
+    Used for module types the walker does not understand and for quantized
+    layers that have not been calibrated yet (their observers are stateful,
+    so a snapshot could not reproduce the eager results).
+    """
+
+    def __init__(self, module: Module):
+        self.module = module
+
+    def run(self, x: np.ndarray, arena: WorkspaceArena | None) -> np.ndarray:
+        was_training = self.module.training
+        if was_training:
+            self.module.eval()
+        try:
+            with no_grad():
+                out = self.module(Tensor(x))
+        finally:
+            if was_training:
+                self.module.train()
+        return out.data if isinstance(out, Tensor) else np.asarray(out)
+
+    def describe(self) -> str:
+        return f"opaque({type(self.module).__name__})"
+
+
+class _QuantWinogradStep(_Step):
+    """Calibrated tap-wise quantized Winograd conv, replayed bit-exactly.
+
+    Binds the quantized Winograd-domain weights once (via
+    :meth:`QuantWinogradConv2d.bind_inference_weights`) and replays the eager
+    composed pipeline — pad, tile, ``BT x B``, fake-quant, tap contraction,
+    ``AT y A``, assemble, bias — with the *same backend primitives in the
+    same order*, so the output is bit-identical to the eval-mode module.
+    """
+
+    def __init__(self, layer: QuantWinogradConv2d):
+        self.layer = layer
+        self._be: KernelBackend | None = None
+        self._weight_w_q = None
+
+    def _backend(self) -> KernelBackend:
+        be = get_backend(self.layer.backend)
+        if be is not self._be:
+            _, self._weight_w_q = self.layer.bind_inference_weights(be)
+            self._be = be
+        return be
+
+    def run(self, x: np.ndarray, arena: WorkspaceArena | None) -> np.ndarray:
+        layer, be = self.layer, self._backend()
+        t = layer.transform
+        if layer.act_quant is not None:
+            x = layer.act_quant.fake_quantize_array(x)
+        padded, out_h, out_w = pad_for_tiling(x, t.m, t.r, layer.padding)
+        tiles = be.extract_tiles(padded, t.m, t.r)
+        tiles_w = be.apply_transform_pair(tiles, t.BT, t.B)
+        tiles_w = layer.input_wino_quant.fake_quantize_array(tiles_w)
+        prod = be.tile_contract(tiles_w, self._weight_w_q)
+        out_tiles = be.apply_transform_pair(prod, t.AT, t.A)
+        out = assemble_output_tiles(out_tiles, out_h, out_w)
+        if layer.bias is not None:
+            out = out + layer.bias.data.reshape(1, -1, 1, 1)
+        return out
+
+    def describe(self) -> str:
+        return (f"qwino[{self.layer.transform.name}] {self.layer.weight.shape} "
+                f"bits={self.layer.spatial_bits}/{self.layer.wino_bits}")
+
+
+class _QuantConv2dStep(_Step):
+    """Calibrated int8 im2col conv, replayed bit-exactly from frozen scales."""
+
+    def __init__(self, layer: QuantConv2d):
+        self.layer = layer
+        self._be: KernelBackend | None = None
+        self._wq2d = None
+
+    def _backend(self) -> KernelBackend:
+        be = get_backend(self.layer.backend)
+        if be is not self._be:
+            wq = self.layer.bind_inference_weights(be)
+            self._wq2d = np.ascontiguousarray(wq.reshape(wq.shape[0], -1))
+            self._be = be
+        return be
+
+    def run(self, x: np.ndarray, arena: WorkspaceArena | None) -> np.ndarray:
+        layer, be = self.layer, self._backend()
+        xq = layer.act_quant.fake_quantize_array(x)
+        kh = kw = layer.kernel_size
+        cols = be.im2col(xq, (kh, kw), layer.stride, layer.padding)
+        out_h = (x.shape[2] + 2 * layer.padding - kh) // layer.stride + 1
+        out_w = (x.shape[3] + 2 * layer.padding - kw) // layer.stride + 1
+        out = be.conv2d_gemm(self._wq2d, cols).reshape(
+            x.shape[0], layer.out_channels, out_h, out_w)
+        if layer.bias is not None:
+            out = out + layer.bias.data.reshape(1, -1, 1, 1)
+        return out
+
+
+# --------------------------------------------------------------------------- #
+# The walker: module graph -> linear step list
+# --------------------------------------------------------------------------- #
+_COMPILERS: dict[type, callable] = {}
+
+
+def register_compiler(module_type: type):
+    """Register a structural compiler for a model class.
+
+    The compiler is called as ``fn(module, ctx) -> list_of_modules_or_steps``
+    where the returned list is flattened, fused and compiled in order (a
+    *linearisation* of the model's forward).  Entries may be sub-modules
+    (compiled recursively) or ready :class:`_Step` instances.
+    """
+    def decorator(fn):
+        _COMPILERS[module_type] = fn
+        return fn
+    return decorator
+
+
+class _CompileCtx:
+    def __init__(self, transform: WinogradTransform | None, fold_bn: bool,
+                 fuse_relu: bool, backend_arg):
+        self.transform = transform
+        self.fold_bn = fold_bn
+        self.fuse_relu = fuse_relu
+        self.backend_arg = backend_arg
+
+
+def _conv_transform(conv: L.Conv2d, ctx: _CompileCtx) -> WinogradTransform | None:
+    """Winograd for r-matching unit-stride kernels, im2col otherwise."""
+    if ctx.transform is None or conv.stride != 1:
+        return None
+    if conv.kernel_size != ctx.transform.r:
+        return None
+    return ctx.transform
+
+
+def _linearize(module: Module, ctx: _CompileCtx) -> list:
+    """Flatten a module into the ordered list its forward would execute."""
+    if isinstance(module, (Sequential, ModuleList)):
+        flat = []
+        for child in module:
+            flat.extend(_linearize(child, ctx))
+        return flat
+    compiler = _COMPILERS.get(type(module))
+    if compiler is not None:
+        flat = []
+        for entry in compiler(module, ctx):
+            if isinstance(entry, _Step):
+                flat.append(entry)
+            else:
+                flat.extend(_linearize(entry, ctx))
+        return flat
+    return [module]
+
+
+def _fold_bn_into_conv(step: _ConvStep, bn: L.BatchNorm2d) -> _ConvStep:
+    scale, shift = bn.fold_scale_shift()
+    weight = step.weight * scale.reshape(-1, 1, 1, 1)
+    bias = shift if step.bias is None else step.bias * scale + shift
+    return _ConvStep(weight, bias, stride=step.stride, padding=step.padding,
+                     transform=step.transform, backend_arg=step.backend_arg,
+                     relu=step.fused_relu)
+
+
+def _compile_linear_list(entries: list, ctx: _CompileCtx) -> list[_Step]:
+    """Peephole-fuse and compile a linearised module list into steps."""
+    steps: list[_Step] = []
+    for entry in entries:
+        if isinstance(entry, L.BatchNorm2d) and ctx.fold_bn and steps and \
+                isinstance(steps[-1], _ConvStep) and not steps[-1].fused_relu:
+            steps[-1] = _fold_bn_into_conv(steps[-1], entry)
+            continue
+        step = entry if isinstance(entry, _Step) else _compile_leaf(entry, ctx)
+        if step is None:                                   # identity / dropout
+            continue
+        if isinstance(step, _ReluStep) and ctx.fuse_relu and steps and \
+                isinstance(steps[-1], (_ConvStep, _BNStep, _LinearStep,
+                                       _ResidualStep)) \
+                and not steps[-1].fused_relu:
+            steps[-1].fused_relu = True
+            continue
+        steps.append(step)
+    return steps
+
+
+def _compile_leaf(module: Module, ctx: _CompileCtx) -> _Step | None:
+    if isinstance(module, L.Identity):
+        return None
+    if isinstance(module, L.Dropout):
+        return None                                        # eval-mode identity
+    if isinstance(module, L.Conv2d):
+        bias = None if module.bias is None else module.bias.data
+        return _ConvStep(module.weight.data, bias, stride=module.stride,
+                         padding=module.padding,
+                         transform=_conv_transform(module, ctx),
+                         backend_arg=module.backend or ctx.backend_arg)
+    if isinstance(module, L.BatchNorm2d):
+        scale, shift = module.fold_scale_shift()
+        return _BNStep(scale, shift)
+    if isinstance(module, L.ReLU):
+        return _ReluStep()
+    if isinstance(module, L.MaxPool2d):
+        return _PoolStep("max", module.kernel_size, module.stride)
+    if isinstance(module, L.AvgPool2d):
+        return _PoolStep("avg", module.kernel_size, module.stride)
+    if isinstance(module, L.GlobalAvgPool2d):
+        return _GlobalAvgPoolStep()
+    if isinstance(module, L.Flatten):
+        return _FlattenStep(module.start_dim)
+    if isinstance(module, L.Linear):
+        bias = None if module.bias is None else module.bias.data
+        return _LinearStep(module.weight.data, bias)
+    if isinstance(module, QuantWinogradConv2d):
+        if module.is_calibrated():
+            return _QuantWinogradStep(module)
+        return _OpaqueStep(module)                         # stateful observers
+    if isinstance(module, QuantConv2d):
+        if module.is_calibrated():
+            return _QuantConv2dStep(module)
+        return _OpaqueStep(module)
+    return _OpaqueStep(module)
+
+
+# Structural compilers for the reference model classes: each returns the
+# linearisation of the class's forward() (sub-modules in execution order,
+# residual blocks as ready steps).
+def _register_model_compilers() -> None:
+    from ..models.resnet_cifar import BasicBlock, ResNetCifar
+    from ..models.vgg import VGGNagadomi
+
+    @register_compiler(BasicBlock)
+    def _compile_basic_block(block: BasicBlock, ctx: _CompileCtx):
+        body = _compile_linear_list(
+            _linearize(block.conv1, ctx) + _linearize(block.bn1, ctx)
+            + [_ReluStep()] + _linearize(block.conv2, ctx)
+            + _linearize(block.bn2, ctx), ctx)
+        shortcut = _compile_linear_list(_linearize(block.downsample, ctx), ctx)
+        return [_ResidualStep(body, shortcut, relu=True)]
+
+    @register_compiler(ResNetCifar)
+    def _compile_resnet(model: ResNetCifar, ctx: _CompileCtx):
+        return [model.stem, model.stem_bn, model.relu,
+                model.stage1, model.stage2, model.stage3,
+                model.pool, model.classifier]
+
+    @register_compiler(VGGNagadomi)
+    def _compile_vgg(model: VGGNagadomi, ctx: _CompileCtx):
+        return [model.features, model.classifier]
+
+
+_register_model_compilers()
+
+
+# --------------------------------------------------------------------------- #
+# CompiledModel
+# --------------------------------------------------------------------------- #
+class CompiledModel:
+    """An immutable sequence of serving steps lowered from a model.
+
+    Built by :func:`compile_model`; call :meth:`infer` (or the instance) with
+    an NCHW batch.  Thread-safe: concurrent calls lease distinct workspace
+    arenas from the internal pool.
+    """
+
+    def __init__(self, steps: list[_Step], *, use_arena: bool = True):
+        self.steps: tuple[_Step, ...] = tuple(steps)
+        self.arena_pool: ArenaPool | None = ArenaPool() if use_arena else None
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Run one batch through the compiled pipeline."""
+        out = np.asarray(x, dtype=np.float64)
+        if self.arena_pool is None:
+            for step in self.steps:
+                out = step.run(out, None)
+            return out
+        with self.arena_pool.lease() as arena:
+            for step in self.steps:
+                out = step.run(out, arena)
+            if isinstance(out, np.ndarray) and arena.owns(out):
+                out = out.copy()     # never hand out live arena buffers
+        return out
+
+    __call__ = infer
+
+    def warmup(self, input_shape: tuple, dtype=np.float64) -> "CompiledModel":
+        """Pre-lower plans and pre-allocate arena buffers for one shape."""
+        self.infer(np.zeros(input_shape, dtype=dtype))
+        return self
+
+    @property
+    def workspace_nbytes(self) -> int:
+        """Bytes currently held across all leased-out/pooled arenas."""
+        return 0 if self.arena_pool is None else self.arena_pool.nbytes
+
+    def describe(self) -> list[str]:
+        """One human-readable line per compiled step."""
+        return [step.describe() for step in self.steps]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledModel({len(self.steps)} steps)"
+
+
+def compile_model(model: Module, input_shape: tuple | None = None, *,
+                  transform: WinogradTransform | str | None = "F4",
+                  backend: str | KernelBackend | None = None,
+                  fold_bn: bool = True, fuse_relu: bool = True,
+                  use_arena: bool = True) -> CompiledModel:
+    """Lower ``model`` into a :class:`CompiledModel` (eval-mode semantics).
+
+    Parameters
+    ----------
+    model:
+        A network built from :mod:`repro.nn` / :mod:`repro.quant` layers (the
+        reference ResNet-CIFAR and VGG classes have structural compilers;
+        anything else falls back to opaque per-module execution).
+    input_shape:
+        Optional NCHW shape used to warm the plan cache and pre-size the
+        workspace arena; any batch shape still works at :meth:`infer` time
+        (plans re-lower through the shared cache).
+    transform:
+        Winograd transform for eligible (3x3, unit-stride) convolutions;
+        ``None`` keeps every convolution on the im2col path.
+    backend:
+        Pin the compiled model to one kernel backend; ``None`` (default)
+        follows the process-wide selection dynamically — a mid-serve
+        ``set_backend`` evicts the plan cache and the steps re-bind.
+    fold_bn / fuse_relu / use_arena:
+        Toggles for the whole-model optimisations (all on by default; turning
+        them all off yields the plain per-layer ``CompiledConv`` behaviour,
+        which is the baseline the serving benchmark measures against).
+    """
+    if isinstance(transform, str):
+        transform = get_transform(transform)
+    ctx = _CompileCtx(transform, fold_bn, fuse_relu, backend)
+
+    was_training = getattr(model, "training", False)
+    model.eval()     # fold_scale_shift & quantized snapshots need eval stats
+    try:
+        steps = _compile_linear_list(_linearize(model, ctx), ctx)
+    finally:
+        if was_training:
+            model.train()
+
+    compiled = CompiledModel(steps, use_arena=use_arena)
+    if input_shape is not None:
+        compiled.warmup(input_shape)
+    return compiled

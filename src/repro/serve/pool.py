@@ -1,0 +1,423 @@
+"""Persistent shared-memory worker pool: zero-pickle array transport.
+
+:class:`repro.engine.BatchRunner`'s original transport ships every input and
+output array through ``multiprocessing.Pool``'s pickle pipe — each chunk is
+serialised, copied through the OS pipe in small writes, and deserialised on
+the other side, twice per round trip.  This module replaces that transport
+with ``multiprocessing.shared_memory``:
+
+* each worker owns an **input ring buffer** (one shm segment the parent
+  writes request frames into, head/tail managed parent-side) and an **output
+  region** (one shm segment the worker writes results into), so array bytes
+  cross the process boundary as a single ``memcpy`` each way;
+* the control plane stays on a pipe, but carries only tiny tuples —
+  ``("run", offset, shape, dtype)`` / ``("ok", shape, dtype)`` — never array
+  data;
+* workers are **long-lived**: each compiles its :class:`~repro.engine.ConvJob`
+  once at startup (plan cache, transformed weights) and serves frames until
+  :meth:`ShmWorkerPool.close`, so steady-state requests hit only warm caches.
+
+Segments grow on demand (the parent allocates a bigger segment and tells the
+worker to re-attach), so the pool adapts to whatever batch shapes traffic
+brings.  ``BatchRunner(transport="shm")`` (the default where shared memory is
+available) delegates here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from multiprocessing import connection as mp_connection
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from .. import engine
+
+__all__ = ["ShmWorkerPool"]
+
+_ALIGN = 64
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without double-registering its cleanup.
+
+    The parent owns every segment's lifetime (it created them); attaching in
+    the child must not enrol the segment with the child's resource tracker,
+    or the tracker would unlink it a second time at child exit.  Python 3.13
+    has ``track=False`` for exactly this; earlier versions need the manual
+    unregister (see :func:`_parent_unlink` for the parent-side rebalance).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        seg = shared_memory.SharedMemory(name=name)
+        try:
+            from multiprocessing import resource_tracker
+            resource_tracker.unregister(seg._name, "shared_memory")
+        except Exception:  # pragma: no cover
+            pass
+        return seg
+
+
+def _parent_unlink(shm: shared_memory.SharedMemory) -> None:
+    """Unlink a parent-owned segment, keeping the resource tracker balanced.
+
+    Under the (default) ``fork`` start method the workers share the parent's
+    resource-tracker process, so the child-side unregister in :func:`_attach`
+    also removed the *parent's* registration; re-register before unlinking so
+    the tracker doesn't log a spurious KeyError.
+    """
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.register(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover
+        pass
+
+
+def _shm_worker_loop(job, in_name: str, out_name: str, conn) -> None:
+    """Long-lived worker: compile the job once, serve frames until 'stop'."""
+    conv = job.compile()
+    in_shm = _attach(in_name)
+    out_shm = _attach(out_name)
+    try:
+        while True:
+            msg = conn.recv()
+            tag = msg[0]
+            if tag == "run":
+                _, offset, shape, dtype_str = msg
+                try:
+                    x = np.ndarray(shape, dtype=np.dtype(dtype_str),
+                                   buffer=in_shm.buf, offset=offset)
+                    y = conv(x)
+                    out_view = np.ndarray(y.shape, dtype=y.dtype,
+                                          buffer=out_shm.buf)
+                    np.copyto(out_view, y)
+                    conn.send(("ok", y.shape, y.dtype.str))
+                except Exception as exc:       # surface, don't kill the pool
+                    conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            elif tag == "attach_in":
+                in_shm.close()
+                in_shm = _attach(msg[1])
+                conn.send(("attached",))
+            elif tag == "attach_out":
+                out_shm.close()
+                out_shm = _attach(msg[1])
+                conn.send(("attached",))
+            elif tag == "stop":
+                break
+    except (EOFError, KeyboardInterrupt):      # parent went away
+        pass
+    finally:
+        in_shm.close()
+        out_shm.close()
+        conn.close()
+
+
+class _InputRing:
+    """Parent-side byte-ring allocator over one shared-memory segment.
+
+    Frames are claimed with :meth:`put` and released FIFO with :meth:`pop`
+    (workers consume their pipe messages in order, so FIFO release is exact).
+    Today :meth:`_Worker.try_send` keeps at most one frame in flight — the
+    single-slot *output* region forces that — so the wrap/tail logic below is
+    headroom for the multi-slot-output pipelining noted in the ROADMAP, not a
+    path current traffic exercises.
+    """
+
+    def __init__(self, capacity: int):
+        self.shm = shared_memory.SharedMemory(create=True, size=capacity)
+        self.capacity = capacity
+        self.head = 0
+        self.pending: deque[tuple[int, int]] = deque()   # (offset, nbytes)
+
+    def _free_bytes(self) -> int:
+        return self.capacity - sum(n for _, n in self.pending)
+
+    def put(self, arr: np.ndarray) -> int | None:
+        """Copy ``arr`` into the ring; returns its offset or None if full."""
+        nbytes = -(-max(arr.nbytes, 1) // _ALIGN) * _ALIGN
+        if nbytes > self._free_bytes():
+            return None
+        offset = self.head
+        if offset + nbytes > self.capacity:              # wrap to the start
+            if self.pending and self.pending[0][0] < nbytes:
+                return None                              # tail still in the way
+            offset = 0
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=self.shm.buf,
+                          offset=offset)
+        np.copyto(view, arr)
+        self.head = offset + nbytes
+        self.pending.append((offset, nbytes))
+        return offset
+
+    def pop(self) -> None:
+        self.pending.popleft()
+
+    def destroy(self) -> None:
+        self.shm.close()
+        _parent_unlink(self.shm)
+
+
+class _Worker:
+    """Parent-side handle: process + pipe + rings + in-flight bookkeeping."""
+
+    def __init__(self, ctx, job, ring_bytes: int, out_bytes: int):
+        self.ring = _InputRing(ring_bytes)
+        try:
+            self.out_shm = shared_memory.SharedMemory(create=True,
+                                                      size=out_bytes)
+        except BaseException:
+            self.ring.destroy()            # don't leak the segment
+            raise
+        try:
+            self.conn, child_conn = ctx.Pipe()
+            self.proc = ctx.Process(
+                target=_shm_worker_loop,
+                args=(job, self.ring.shm.name, self.out_shm.name, child_conn),
+                daemon=True)
+            self.proc.start()
+        except BaseException:              # e.g. process spawn forbidden
+            self.ring.destroy()
+            self.out_shm.close()
+            _parent_unlink(self.out_shm)
+            raise
+        child_conn.close()
+        self.queue: deque = deque()        # chunks not yet sent
+        self.inflight: deque = deque()     # sink callbacks awaiting replies
+        self._retired: list[shared_memory.SharedMemory] = []
+
+    # -- segment growth ------------------------------------------------- #
+    def _grow_in(self, min_bytes: int) -> None:
+        old = self.ring
+        new_cap = max(min_bytes * 2, old.capacity)
+        self.ring = _InputRing(new_cap)
+        self.conn.send(("attach_in", self.ring.shm.name))
+        assert self.conn.recv()[0] == "attached"
+        old.destroy()
+
+    def _grow_out(self, min_bytes: int) -> None:
+        old = self.out_shm
+        self.out_shm = shared_memory.SharedMemory(create=True,
+                                                  size=max(min_bytes * 2,
+                                                           old.size))
+        self.conn.send(("attach_out", self.out_shm.name))
+        assert self.conn.recv()[0] == "attached"
+        old.close()
+        _parent_unlink(old)
+
+    # -- request / reply ------------------------------------------------- #
+    def try_send(self, out_nbytes_for) -> bool:
+        """Stage and dispatch the next queued chunk, if the worker is free.
+
+        At most one frame is in flight per worker: the single-slot output
+        region is only safe to rewrite once the parent has copied the
+        previous reply out of it (``handle_reply``), and the next ``run``
+        message is what tells the worker that happened.
+        """
+        if not self.queue or self.inflight:
+            return False
+        chunk, sink = self.queue[0]
+        need = -(-max(chunk.nbytes, 1) // _ALIGN) * _ALIGN
+        if need > self.ring.capacity:
+            self._grow_in(need)
+        out_need = out_nbytes_for(chunk)
+        if out_need > self.out_shm.size:
+            self._grow_out(out_need)
+        offset = self.ring.put(chunk)
+        if offset is None:  # pragma: no cover - capacity grown above
+            return False
+        self.queue.popleft()
+        self.conn.send(("run", offset, chunk.shape, chunk.dtype.str))
+        self.inflight.append(sink)
+        return True
+
+    def handle_reply(self) -> str | None:
+        """Consume one reply; returns the worker's error string, if any.
+
+        Never raises: the caller must keep draining every outstanding reply
+        (and clear the queues) before surfacing an error, or stale replies
+        would poison the next batch.
+        """
+        msg = self.conn.recv()
+        sink = self.inflight.popleft()
+        self.ring.pop()
+        if msg[0] == "err":
+            return msg[1]
+        _, shape, dtype_str = msg
+        out = np.ndarray(shape, dtype=np.dtype(dtype_str),
+                         buffer=self.out_shm.buf)
+        sink(out)                          # sink copies out of the segment
+        return None
+
+    def stop(self) -> None:
+        try:
+            self.conn.send(("stop",))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+        self.proc.join(timeout=5)
+        if self.proc.is_alive():  # pragma: no cover
+            self.proc.terminate()
+            self.proc.join(timeout=5)
+        self.conn.close()
+        self.ring.destroy()
+        self.out_shm.close()
+        _parent_unlink(self.out_shm)
+
+
+class ShmWorkerPool:
+    """Long-lived convolution workers fed through shared-memory transport.
+
+    Parameters
+    ----------
+    job:
+        The :class:`~repro.engine.ConvJob` every worker compiles once.
+    num_workers:
+        Worker process count (must be >= 1; inline execution is the
+        caller's — :class:`~repro.engine.BatchRunner`'s — job).
+    ring_bytes:
+        Initial input-ring capacity per worker (grown on demand).
+    mp_context:
+        multiprocessing start method; defaults to ``fork`` where available
+        so workers inherit warm caches.
+    """
+
+    def __init__(self, job, num_workers: int, ring_bytes: int = 1 << 22,
+                 mp_context: str | None = None):
+        if num_workers < 1:
+            raise ValueError("ShmWorkerPool needs at least one worker")
+        from ..engine.runner import _pick_context
+        ctx = _pick_context(mp_context)
+        self.job = job
+        self.num_workers = int(num_workers)
+        self._workers: list[_Worker] = []
+        try:
+            for _ in range(self.num_workers):
+                self._workers.append(_Worker(ctx, job, ring_bytes,
+                                             ring_bytes // 2))
+        except Exception:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------ #
+    def _out_shape(self, in_shape: tuple) -> tuple:
+        """Output shape for one input chunk, from the (cached) layer plan."""
+        if self.job.transform is not None:
+            plan = engine.lower_winograd(in_shape, self.job.weight.shape,
+                                         self.job.transform, self.job.padding,
+                                         backend=self.job.backend)
+        else:
+            plan = engine.lower_conv2d(in_shape, self.job.weight.shape,
+                                       self.job.stride, self.job.padding,
+                                       backend=self.job.backend)
+        return plan.out_shape
+
+    def _out_nbytes(self, chunk: np.ndarray) -> int:
+        shape = self._out_shape(chunk.shape)
+        dtype = np.result_type(chunk.dtype, self.job.weight.dtype)
+        return int(np.prod(shape)) * dtype.itemsize
+
+    def _drive(self) -> None:
+        """Scatter queued chunks and gather replies until everything drains.
+
+        A worker-side error is *collected*, not raised mid-drain: every
+        outstanding reply is still consumed and every queue cleared first, so
+        the pool stays usable for the next batch; the first error is raised
+        once the wire is quiet again.
+        """
+        workers = self._workers
+        first_error: str | None = None
+        try:
+            for w in workers:
+                w.try_send(self._out_nbytes)
+            while any(w.inflight for w in workers):
+                ready = mp_connection.wait(
+                    [w.conn for w in workers if w.inflight])
+                for conn in ready:
+                    w = next(w for w in workers if w.conn is conn)
+                    error = w.handle_reply()
+                    if error is not None and first_error is None:
+                        first_error = error
+                        for worker in workers:     # abandon unsent work
+                            worker.queue.clear()
+                    w.try_send(self._out_nbytes)
+        except BaseException:
+            # Parent-side failure (e.g. a chunk whose plan won't lower):
+            # quiesce the wire before propagating, same as the worker-error
+            # path, so the next batch doesn't read this batch's replies.
+            for w in workers:
+                w.queue.clear()
+                while w.inflight:
+                    try:
+                        w.handle_reply()
+                    except Exception:              # worker gone: give up on it
+                        break
+            raise
+        if first_error is not None:
+            raise RuntimeError(f"shm worker failed: {first_error}")
+
+    # ------------------------------------------------------------------ #
+    def run(self, x: np.ndarray, chunk_size: int | None = None) -> np.ndarray:
+        """One batch, sharded along the batch axis across the workers."""
+        x = np.ascontiguousarray(x)
+        n = x.shape[0]
+        if n == 0:
+            # Nothing to shard: empty result of the right shape, no workers.
+            shape = self._out_shape(x.shape)
+            return np.empty(shape,
+                            dtype=np.result_type(x.dtype, self.job.weight.dtype))
+        chunk = chunk_size or -(-n // self.num_workers)
+        starts = list(range(0, n, chunk))
+        out_shape = self._out_shape(x.shape)
+        out_dtype = np.result_type(x.dtype, self.job.weight.dtype)
+        result = np.empty(out_shape, dtype=out_dtype)
+
+        def make_sink(row0: int, rows: int):
+            def sink(arr: np.ndarray) -> None:
+                np.copyto(result[row0:row0 + rows], arr)
+            return sink
+
+        for idx, start in enumerate(starts):
+            piece = x[start:start + chunk]
+            sink = make_sink(start, piece.shape[0])
+            self._workers[idx % self.num_workers].queue.append((piece, sink))
+        self._drive()
+        return result
+
+    def map(self, inputs) -> list[np.ndarray]:
+        """A stream of independent input arrays (one result per input)."""
+        arrays = [np.ascontiguousarray(a) for a in inputs]
+        results: list[np.ndarray | None] = [None] * len(arrays)
+
+        def make_sink(i: int):
+            def sink(arr: np.ndarray) -> None:
+                results[i] = arr.copy()
+            return sink
+
+        for i, arr in enumerate(arrays):
+            self._workers[i % self.num_workers].queue.append(
+                (arr, make_sink(i)))
+        self._drive()
+        return results
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        for worker in self._workers:
+            worker.stop()
+        self._workers = []
+
+    def __enter__(self) -> "ShmWorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __del__(self):  # pragma: no cover - belt and braces
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,176 @@
+"""Synchronous model server: micro-batched inference with latency stats.
+
+:class:`Server` ties the serving pieces together:
+
+* a :class:`~repro.serve.CompiledModel` (or any ``batch -> batch`` callable)
+  does the actual math;
+* a :class:`~repro.serve.MicroBatcher` coalesces :meth:`submit`-ed
+  single-image requests into batches under a latency deadline, per shape;
+* one or more worker threads drain the batcher, stack each batch, run the
+  model, and fulfil the request handles;
+* every completed request feeds the latency/throughput accounting exposed by
+  :meth:`stats` (p50/p99 latency, mean batch size, requests per second).
+
+``close()`` shuts down gracefully: the batcher stops accepting work, the
+worker threads drain everything already queued, and only then exit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from .batcher import InferenceRequest, MicroBatcher
+
+__all__ = ["Server", "ServerStats"]
+
+
+class ServerStats:
+    """Rolling latency/throughput counters (thread-safe)."""
+
+    def __init__(self, window: int = 10000):
+        self._lock = threading.Lock()
+        self._window = int(window)
+        self._latencies: list[float] = []
+        self.requests = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self._started_at = time.perf_counter()
+
+    def record_batch(self, requests: list[InferenceRequest]) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += len(requests)
+            self.requests += len(requests)
+            for request in requests:
+                if request.latency_s is not None:
+                    self._latencies.append(request.latency_s)
+            if len(self._latencies) > self._window:
+                del self._latencies[:-self._window]
+
+    def record_direct(self, batch_size: int, latency_s: float) -> None:
+        with self._lock:
+            self.requests += int(batch_size)
+            self._latencies.append(latency_s)
+            if len(self._latencies) > self._window:
+                del self._latencies[:-self._window]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            lat = np.asarray(self._latencies, dtype=np.float64)
+            elapsed = max(time.perf_counter() - self._started_at, 1e-9)
+            out = {
+                "requests": self.requests,
+                "batches": self.batches,
+                "mean_batch_size": (self.batched_requests / self.batches
+                                    if self.batches else 0.0),
+                "throughput_rps": self.requests / elapsed,
+            }
+            if lat.size:
+                out["latency_p50_ms"] = float(np.percentile(lat, 50) * 1e3)
+                out["latency_p99_ms"] = float(np.percentile(lat, 99) * 1e3)
+            return out
+
+
+class Server:
+    """Synchronous serving facade over a compiled model.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.serve.CompiledModel` or any callable mapping an
+        NCHW batch to an output batch.
+    max_batch_size / max_delay_ms:
+        Micro-batching policy (see :class:`~repro.serve.MicroBatcher`).
+    num_threads:
+        Worker threads draining the batcher.  One is right for the GIL-bound
+        numpy pipeline; more only helps when the model itself releases the
+        GIL for long stretches (large BLAS calls).
+    """
+
+    def __init__(self, model, *, max_batch_size: int = 8,
+                 max_delay_ms: float = 2.0, num_threads: int = 1):
+        self._infer = model.infer if hasattr(model, "infer") else model
+        self.model = model
+        self.batcher = MicroBatcher(max_batch_size=max_batch_size,
+                                    max_delay_ms=max_delay_ms)
+        self.stats_ = ServerStats()
+        self._threads = [
+            threading.Thread(target=self._serve_loop, daemon=True,
+                             name=f"repro-serve-{i}")
+            for i in range(max(int(num_threads), 1))]
+        self._closed = False
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Serving loop
+    # ------------------------------------------------------------------ #
+    def _serve_loop(self) -> None:
+        while True:
+            batch = self.batcher.next_batch(timeout=0.05)
+            if batch is None:
+                if self.batcher.closed and self.batcher.pending() == 0:
+                    return
+                continue
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: list[InferenceRequest]) -> None:
+        try:
+            stacked = np.stack([request.x for request in batch])
+            out = self._infer(stacked)
+            for i, request in enumerate(batch):
+                request.set_result(out[i])
+        except BaseException as exc:  # propagate to every waiting caller
+            for request in batch:
+                request.set_error(exc)
+        self.stats_.record_batch(batch)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def submit(self, x: np.ndarray) -> InferenceRequest:
+        """Enqueue one ``(C, H, W)`` image; returns a waitable handle."""
+        if self._closed:
+            raise RuntimeError("server is closed")
+        return self.batcher.submit(x)
+
+    def infer(self, x: np.ndarray, timeout: float | None = 30.0) -> np.ndarray:
+        """Submit one image and block for its result."""
+        return self.submit(x).result(timeout)
+
+    def infer_batch(self, x: np.ndarray) -> np.ndarray:
+        """Synchronous whole-batch inference, bypassing the queue.
+
+        Still recorded in the server stats (as one direct batch).
+        """
+        if self._closed:
+            raise RuntimeError("server is closed")
+        start = time.perf_counter()
+        out = self._infer(np.asarray(x))
+        self.stats_.record_direct(np.asarray(x).shape[0],
+                                  time.perf_counter() - start)
+        return out
+
+    def stats(self) -> dict:
+        """Throughput and p50/p99 latency snapshot."""
+        return self.stats_.snapshot()
+
+    # ------------------------------------------------------------------ #
+    def close(self, timeout: float = 10.0) -> None:
+        """Graceful shutdown: drain queued requests, then stop the threads."""
+        if self._closed:
+            return
+        self._closed = True
+        self.batcher.close()
+        for thread in self._threads:
+            thread.join(timeout)
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
