@@ -31,6 +31,10 @@ Serving-layer numbers (PR 5, written to ``BENCH_serve.json``):
   network run as per-layer CompiledConv + BN + ReLU steps.
 * ``shm_pool_batch{4,8}``: the persistent shared-memory worker pool must
   beat the pickle ``multiprocessing.Pool`` transport at batch <= 8.
+* ``shm_pool_supervision_overhead`` (PR 6): the supervised pool (heartbeats,
+  sentinel watching, retry bookkeeping) must stay within 5% of the same pool
+  with supervision disabled (``heartbeat_interval=None``, the bare PR 5
+  wire) — fault tolerance must not tax the fast path.
 
 ``--smoke`` runs everything with tiny repeat counts and exits 0 regardless
 of the measured ratios — the CI plumbing check, not a perf gate.
@@ -300,6 +304,23 @@ def serve_cases(repeats: int, warmup: int) -> dict:
                                 "speedup_shm_vs_pickle")
             results[f"shm_pool_batch{n}"] = case
             _print_case(f"shm_pool_batch{n}", case)
+
+        # -- supervision overhead (PR 6) -------------------------------- #
+        # The default pool above runs fully supervised (heartbeats, sentinel
+        # watching, retry bookkeeping); pair it against the same pool with
+        # supervision switched off to isolate what fault tolerance costs on
+        # the fault-free fast path.
+        bare_pool = ShmWorkerPool(job, num_workers=2, heartbeat_interval=None)
+        try:
+            x = _RNG.normal(size=(8, 32, 32, 32))
+            case = _paired_case(lambda: bare_pool.run(x, chunk_size=4),
+                                lambda: shm_pool.run(x, chunk_size=4),
+                                repeats, warmup, "bare_s", "supervised_s",
+                                "overhead_supervised_vs_bare")
+            results["shm_pool_supervision_overhead"] = case
+            _print_case("shm_pool_supervision_overhead", case)
+        finally:
+            bare_pool.close()
     finally:
         shm_pool.close()
         pickle_pool.close()
@@ -388,14 +409,20 @@ def main(argv=None) -> int:
     # No measured cases (shm skipped) must fail the gate, not pass vacuously.
     pool_ok = bool(pool_cases) and all(
         case.get("speedup_shm_vs_pickle", 0.0) > 1.0 for case in pool_cases)
+    overhead = serve_results.get("shm_pool_supervision_overhead", {}).get(
+        "overhead_supervised_vs_bare")
+    overhead_ok = overhead is not None and overhead <= 1.05
     print(f"headline winograd_f4_forward speedup: {speedup:.2f}x (target >= 2x)")
     print(f"headline planned_f4_forward speedup:  {planned:.2f}x (target >= 1.3x)")
     print(f"headline served_model_f4 speedup:     {served:.2f}x (target >= 1.2x)")
     print(f"shm pool beats pickle at batch <= 8:  {pool_ok}")
+    if overhead is not None:
+        print(f"supervision overhead:                 {overhead:.3f}x "
+              "(target <= 1.05x)")
     if args.smoke:
         return 0
     return 0 if (speedup >= 2.0 and planned >= 1.3
-                 and served >= 1.2 and pool_ok) else 1
+                 and served >= 1.2 and pool_ok and overhead_ok) else 1
 
 
 if __name__ == "__main__":

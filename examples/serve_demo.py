@@ -12,6 +12,9 @@ Walks the `repro.serve` subsystem end to end:
 3. **Shared-memory sharding** — the same bound layer behind
    ``BatchRunner``'s two transports (pickle pipes vs the persistent
    shared-memory worker pool).
+4. **Fault injection** — a scripted ``FaultPlan`` SIGKILLs and corrupts
+   workers mid-batch; the supervisor respawns them, retries their chunks,
+   and the recovered results are bit-identical to a fault-free run.
 
 Run with:  PYTHONPATH=src python examples/serve_demo.py
 """
@@ -25,7 +28,7 @@ from repro.engine import BatchRunner, ConvJob
 from repro.models.resnet_cifar import resnet_tiny
 from repro.nn import Tensor
 from repro.nn.tensor import no_grad
-from repro.serve import Server, compile_model
+from repro.serve import FaultPlan, Server, ShmWorkerPool, compile_model
 from repro.utils import seed_everything
 
 
@@ -100,6 +103,24 @@ def main() -> None:
     finally:
         for runner in runners.values():
             runner.close()
+
+    # --- 4. fault injection: kill + corrupt, recover bit-exactly -------------
+    print("\n[4] fault injection (scripted chaos, deterministic):")
+    with ShmWorkerPool(job, num_workers=2) as clean_pool:
+        expected = clean_pool.run(big, chunk_size=4)
+    plan = FaultPlan().kill(worker=0, step=1).corrupt(worker=1, step=1)
+    with ShmWorkerPool(job, num_workers=2, faults=plan) as chaos_pool:
+        recovered = chaos_pool.run(big, chunk_size=4)
+        stats = chaos_pool.stats()
+        print(f"    plan: SIGKILL worker 0 at its step 1, corrupt worker 1's "
+              f"first reply payload")
+        print(f"    deaths={stats['deaths']} restarts={stats['restarts']} "
+              f"retried_jobs={stats['retried_jobs']} "
+              f"corrupt_replies={stats['corrupt_replies']}")
+        print(f"    pool healthy again: {chaos_pool.healthy} "
+              f"({stats['live_workers']}/{stats['num_workers']} workers)")
+        print(f"    recovered result bit-identical to fault-free run: "
+              f"{np.array_equal(recovered, expected)}")
 
 
 if __name__ == "__main__":

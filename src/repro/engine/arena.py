@@ -108,17 +108,32 @@ class ArenaPool:
     Concurrent inference calls each lease their own arena, so in-flight
     batches never share workspace buffers; when a call finishes its arena
     (with its warm buffers) goes back on the free list for the next call.
+
+    Leases are exception-aware: a batch that fails or is cancelled
+    mid-inference (a worker crash, a missed deadline aborting between steps)
+    still returns its arena — *cleared*, so a half-written workspace from an
+    abandoned batch is never handed warm to the next one, and the memory of
+    a failure burst is released instead of lingering on the free list.  The
+    ``leased`` / ``reclaimed`` counters make leaks observable in tests.
     """
 
     def __init__(self) -> None:
         self._free: list[WorkspaceArena] = []
         self._all: list[WorkspaceArena] = []
         self._lock = threading.Lock()
+        self._leased = 0
+        self.reclaimed = 0      # leases released via the exception path
 
     @property
     def created(self) -> int:
         """Number of distinct arenas ever created (== peak concurrency)."""
         return len(self._all)
+
+    @property
+    def leased(self) -> int:
+        """Arenas currently out on lease (0 when the pool is quiescent)."""
+        with self._lock:
+            return self._leased
 
     @property
     def nbytes(self) -> int:
@@ -132,10 +147,21 @@ class ArenaPool:
             if arena is None:
                 arena = WorkspaceArena()
                 self._all.append(arena)
+            self._leased += 1
         try:
             yield arena
-        finally:
+        except BaseException:
+            # Failed/cancelled batch: reclaim the lease but drop the
+            # half-written buffers so nothing stale survives the failure.
+            arena.clear()
             with self._lock:
+                self._leased -= 1
+                self.reclaimed += 1
+                self._free.append(arena)
+            raise
+        else:
+            with self._lock:
+                self._leased -= 1
                 self._free.append(arena)
 
     def clear(self) -> None:

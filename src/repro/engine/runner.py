@@ -20,8 +20,12 @@ Two transports are available for ``num_workers > 0``:
 * ``"pickle"`` — the original ``multiprocessing.Pool`` transport, kept as
   the portable fallback (and for equivalence testing).
 
-``transport="auto"`` tries shared memory and quietly falls back to pickle on
-platforms without it.  ``num_workers=0`` executes inline in the calling
+``transport="auto"`` tries shared memory, quietly falls back to pickle on
+platforms without it, and degrades to inline execution when process spawning
+is forbidden entirely.  A shm pool that later loses every worker for good
+(:class:`~repro.serve.PoolUnavailable` after the supervisor's respawn
+attempts are exhausted) likewise degrades to inline mid-run instead of
+failing the batch.  ``num_workers=0`` executes inline in the calling
 process — same results, no processes.
 """
 
@@ -126,16 +130,36 @@ class BatchRunner:
                 except Exception:
                     if transport == "shm":
                         raise
-            if self._shm_pool is None:
+            if self._shm_pool is None and transport in ("auto", "pickle"):
                 ctx = _pick_context(mp_context)
-                self._pool = ctx.Pool(self.num_workers,
-                                      initializer=_init_worker, initargs=(job,))
-                self.transport = "pickle"
+                try:
+                    self._pool = ctx.Pool(self.num_workers,
+                                          initializer=_init_worker,
+                                          initargs=(job,))
+                    self.transport = "pickle"
+                except Exception:
+                    # Spawning processes is forbidden here entirely: degrade
+                    # to inline execution instead of failing construction.
+                    if transport == "pickle":
+                        raise
+                    self.transport = "inline"
 
     def _local_conv(self) -> CompiledConv:
         if self._local is None:
             self._local = self.job.compile()
         return self._local
+
+    def _degrade_inline(self) -> None:
+        """The shm pool is gone for good: fall back to in-process execution.
+
+        Triggered by :class:`~repro.serve.PoolUnavailable` (every worker
+        dead, respawning failed — e.g. process spawning became forbidden
+        mid-run).  Results are identical; only the sharding is lost.
+        """
+        if self._shm_pool is not None:
+            self._shm_pool.close()
+            self._shm_pool = None
+        self.transport = "inline"
 
     # ------------------------------------------------------------------ #
     def run(self, x: np.ndarray) -> np.ndarray:
@@ -146,7 +170,12 @@ class BatchRunner:
             # executor already produces the correctly-shaped empty output.
             return self._local_conv()(x)
         if self._shm_pool is not None:
-            return self._shm_pool.run(x, chunk_size=self.chunk_size)
+            from ..serve.errors import PoolUnavailable
+            try:
+                return self._shm_pool.run(x, chunk_size=self.chunk_size)
+            except PoolUnavailable:
+                self._degrade_inline()
+                return self._local_conv()(x)
         if self._pool is None:
             return self._local_conv()(x)
         n = x.shape[0]
@@ -161,7 +190,13 @@ class BatchRunner:
         if not inputs:
             return []
         if self._shm_pool is not None:
-            return self._shm_pool.map(inputs)
+            from ..serve.errors import PoolUnavailable
+            try:
+                return self._shm_pool.map(inputs)
+            except PoolUnavailable:
+                self._degrade_inline()
+                local = self._local_conv()
+                return [local(x) for x in inputs]
         if self._pool is None:
             local = self._local_conv()
             return [local(x) for x in inputs]

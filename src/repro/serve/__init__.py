@@ -1,4 +1,4 @@
-"""Model-level inference serving (PR 5).
+"""Model-level inference serving (PR 5), fault-tolerant since PR 6.
 
 The engine layer (PR 2) made single layers cheap to re-execute: lower once to
 a cached :class:`~repro.engine.LayerPlan`, stream batches through it.  This
@@ -9,20 +9,41 @@ pipelines with traffic):
 * :func:`compile_model` / :class:`CompiledModel` — lower an ``nn.Module``
   network into an immutable sequence of plan-bound steps with
   pre-transformed weights, folded BatchNorm, fused ReLU, and a plan-keyed
-  workspace arena (zero fresh large allocations in steady state).
+  workspace arena (zero fresh large allocations in steady state).  ``infer``
+  accepts an absolute ``deadline`` and aborts between steps when it expires.
 * :class:`MicroBatcher` / :class:`InferenceRequest` — dynamic micro-batching
-  with per-shape queues and a configurable latency deadline.
+  with per-shape queues, a configurable latency deadline, bounded admission
+  (load shedding past ``max_pending``), request cancellation, and
+  pre-dispatch expiry of deadlined requests.
 * :class:`ShmWorkerPool` — persistent worker processes fed through
-  ``multiprocessing.shared_memory`` ring buffers instead of pickle;
-  :class:`repro.engine.BatchRunner` delegates to it by default.
+  ``multiprocessing.shared_memory`` ring buffers instead of pickle, watched
+  by a :class:`WorkerSupervisor`: dead or stalled workers are detected
+  (process sentinel + heartbeats), respawned with capped backoff, and their
+  unacknowledged jobs retried bit-exactly on surviving workers.
+  :class:`repro.engine.BatchRunner` delegates to it by default and degrades
+  to inline execution if the pool becomes :class:`PoolUnavailable`.
 * :class:`Server` — a synchronous facade with ``submit`` / ``infer`` /
-  ``infer_batch``, p50/p99 latency and throughput stats, and graceful
-  shutdown.
+  ``infer_batch``, end-to-end deadlines, load shedding, an in-process
+  fallback model, p50/p99 latency + robustness stats, and graceful
+  drain-on-close.
+* :class:`FaultPlan` — deterministic, seeded fault injection (kill / delay /
+  drop / corrupt at scripted worker steps) so every failure mode above is a
+  tested scenario, not a stack trace.
+
+Failure taxonomy: :class:`WorkerJobError` (job raised remotely; traceback
+preserved), :class:`WorkerCrashed` (worker died, retries exhausted),
+:class:`RequestTimeout` (deadline missed; a ``TimeoutError``),
+:class:`ServerOverloaded` (admission shed), :class:`RequestCancelled`,
+:class:`PoolUnavailable` (degrade-to-inline signal).
 """
 
 from .batcher import InferenceRequest, MicroBatcher
+from .errors import (PoolUnavailable, RequestCancelled, RequestTimeout,
+                     ServerOverloaded, ServingError, WorkerCrashed,
+                     WorkerJobError)
+from .faults import Fault, FaultPlan
 from .model import CompiledModel, compile_model, register_compiler
-from .pool import ShmWorkerPool
+from .pool import ShmWorkerPool, WorkerSupervisor
 from .server import Server, ServerStats
 
 __all__ = [
@@ -32,6 +53,16 @@ __all__ = [
     "InferenceRequest",
     "MicroBatcher",
     "ShmWorkerPool",
+    "WorkerSupervisor",
     "Server",
     "ServerStats",
+    "ServingError",
+    "WorkerJobError",
+    "WorkerCrashed",
+    "RequestTimeout",
+    "RequestCancelled",
+    "ServerOverloaded",
+    "PoolUnavailable",
+    "Fault",
+    "FaultPlan",
 ]

@@ -14,8 +14,23 @@ execution engine:
   **or** its oldest request has waited ``max_delay_ms`` (the latency
   deadline), whichever comes first.
 
+Failure semantics (PR 6):
+
+* **Bounded admission** — ``max_pending`` caps the total queued requests;
+  a submit past the cap raises :class:`~repro.serve.ServerOverloaded`
+  (load shedding) instead of queuing unboundedly.  The high-watermark depth
+  and shed count are tracked for :meth:`repro.serve.Server.stats`.
+* **Cancellation** — :meth:`InferenceRequest.cancel` marks a queued request
+  dead; the dispatch path (:meth:`next_batch`) discards cancelled entries
+  instead of computing results nobody will read.
+* **Deadlines** — a request submitted with ``deadline_s`` that is already
+  expired at dispatch time is failed with
+  :class:`~repro.serve.RequestTimeout` *before* being batched, never
+  computed and discarded.
+
 The batcher is transport-agnostic: :class:`repro.serve.Server` drains it
-with worker threads that stack each batch and run it through a
+with worker threads that block in :meth:`next_batch` (condition-variable
+wakeup — no polling) and run each batch through a
 :class:`~repro.serve.CompiledModel` (or any callable).
 """
 
@@ -27,28 +42,59 @@ from collections import OrderedDict, deque
 
 import numpy as np
 
+from .errors import (RequestCancelled, RequestTimeout, ServerOverloaded,
+                     deadline_clock)
+
 __all__ = ["InferenceRequest", "MicroBatcher"]
 
 
 class InferenceRequest:
     """Handle for one submitted image; fulfilled by the serving loop."""
 
-    def __init__(self, x: np.ndarray):
+    def __init__(self, x: np.ndarray, deadline_s: float | None = None):
         self.x = np.asarray(x)
         self.submitted_at = time.perf_counter()
+        #: Absolute monotonic deadline (None = no deadline).
+        self.deadline: float | None = (None if deadline_s is None
+                                       else deadline_clock() + deadline_s)
         self.completed_at: float | None = None
         self._event = threading.Event()
         self._result: np.ndarray | None = None
         self._error: BaseException | None = None
+        self._cancelled = False
 
     # -- caller side ----------------------------------------------------- #
     def done(self) -> bool:
         return self._event.is_set()
 
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self, exc: BaseException | None = None) -> bool:
+        """Mark the request dead so the dispatch loop skips it.
+
+        Returns True if the request was cancelled, False if it had already
+        completed.  A cancelled request's :meth:`result` raises ``exc``
+        (default :class:`RequestCancelled`).
+        """
+        if self._event.is_set():
+            return False
+        self._cancelled = True
+        self.set_error(exc if exc is not None
+                       else RequestCancelled("request cancelled by caller"))
+        return True
+
+    def expired(self, now: float | None = None) -> bool:
+        """True when the request carries a deadline that has passed."""
+        if self.deadline is None:
+            return False
+        return (deadline_clock() if now is None else now) >= self.deadline
+
     def result(self, timeout: float | None = None) -> np.ndarray:
         """Block until the result is available (raises on server error)."""
         if not self._event.wait(timeout):
-            raise TimeoutError("inference request not completed in time")
+            raise RequestTimeout("inference request not completed in time")
         if self._error is not None:
             raise self._error
         return self._result
@@ -73,32 +119,61 @@ class InferenceRequest:
 
 
 class MicroBatcher:
-    """Per-shape request queues with a batch-size/deadline release policy."""
+    """Per-shape request queues with a batch-size/deadline release policy.
 
-    def __init__(self, max_batch_size: int = 8, max_delay_ms: float = 2.0):
+    ``max_pending`` bounds admission: a submit that would push the total
+    queued depth past it raises :class:`ServerOverloaded` (``None`` keeps
+    the pre-PR 6 unbounded behaviour).
+    """
+
+    def __init__(self, max_batch_size: int = 8, max_delay_ms: float = 2.0,
+                 max_pending: int | None = None):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None)")
         self.max_batch_size = int(max_batch_size)
         self.max_delay_s = float(max_delay_ms) / 1000.0
+        self.max_pending = None if max_pending is None else int(max_pending)
         self._queues: OrderedDict[tuple, deque[InferenceRequest]] = OrderedDict()
         self._cond = threading.Condition()
         self._closed = False
+        self._pending = 0
+        self.high_watermark = 0     # peak queued depth ever observed
+        self.shed = 0               # submissions rejected by the cap
+        self.expired = 0            # requests dropped at dispatch (deadline)
+        self.cancelled_skipped = 0  # cancelled requests discarded at dispatch
 
     # ------------------------------------------------------------------ #
-    def submit(self, x: np.ndarray) -> InferenceRequest:
-        """Enqueue one ``(C, H, W)`` image; returns its request handle."""
-        request = InferenceRequest(x)
+    def submit(self, x: np.ndarray,
+               deadline_s: float | None = None) -> InferenceRequest:
+        """Enqueue one ``(C, H, W)`` image; returns its request handle.
+
+        ``deadline_s`` (seconds from now) attaches an end-to-end deadline:
+        the request is discarded un-computed if still queued past it, and
+        the serving loop propagates the remaining budget to the model.
+        """
+        request = InferenceRequest(x, deadline_s=deadline_s)
         key = (request.x.shape, request.x.dtype.str)
         with self._cond:
             if self._closed:
                 raise RuntimeError("batcher is closed")
+            if self.max_pending is not None and \
+                    self._pending >= self.max_pending:
+                self.shed += 1
+                raise ServerOverloaded("micro-batcher queue full",
+                                       pending=self._pending,
+                                       limit=self.max_pending)
             self._queues.setdefault(key, deque()).append(request)
+            self._pending += 1
+            if self._pending > self.high_watermark:
+                self.high_watermark = self._pending
             self._cond.notify_all()
         return request
 
     def pending(self) -> int:
         with self._cond:
-            return sum(len(q) for q in self._queues.values())
+            return self._pending
 
     # ------------------------------------------------------------------ #
     def _ready_key(self, now: float) -> tuple | None:
@@ -118,12 +193,46 @@ class MicroBatcher:
             return None
         return max(min(deadlines) - now, 0.0)
 
+    def _pop_batch(self, key: tuple) -> list[InferenceRequest]:
+        """Pop up to ``max_batch_size`` live requests from one shape queue.
+
+        Cancelled requests are discarded (their callers already hold the
+        cancellation error) and expired ones are failed with
+        :class:`RequestTimeout` here — *before* dispatch — so the serving
+        loop never computes a result nobody will read.  May return an empty
+        list when the whole queue was dead.
+        """
+        queue = self._queues[key]
+        mono_now = deadline_clock()
+        batch: list[InferenceRequest] = []
+        popped = 0
+        while queue and len(batch) < self.max_batch_size:
+            request = queue.popleft()
+            popped += 1
+            if request.cancelled or request.done():
+                self.cancelled_skipped += 1
+                continue
+            if request.expired(mono_now):
+                self.expired += 1
+                request.set_error(RequestTimeout(
+                    "request expired in queue before dispatch",
+                    deadline=request.deadline, now=mono_now))
+                continue
+            batch.append(request)
+        self._pending -= popped
+        if not queue:
+            del self._queues[key]
+        return batch
+
     def next_batch(self, timeout: float | None = None
                    ) -> list[InferenceRequest] | None:
         """Block until a batch is ready; ``None`` on timeout or drained-close.
 
         All returned requests share one shape/dtype, at most
-        ``max_batch_size`` of them, FIFO within their shape queue.
+        ``max_batch_size`` of them, FIFO within their shape queue.  With
+        ``timeout=None`` the call blocks on the condition variable until a
+        submit or :meth:`close` wakes it — the serving loop's idle path does
+        no polling.
         """
         end = None if timeout is None else time.perf_counter() + timeout
         with self._cond:
@@ -136,12 +245,9 @@ class MicroBatcher:
                     if key is None:
                         return None
                 if key is not None:
-                    queue = self._queues[key]
-                    batch = [queue.popleft()
-                             for _ in range(min(len(queue),
-                                                self.max_batch_size))]
-                    if not queue:
-                        del self._queues[key]
+                    batch = self._pop_batch(key)
+                    if not batch:
+                        continue       # entire queue was cancelled/expired
                     return batch
                 wait = self._next_deadline(now)
                 if end is not None:

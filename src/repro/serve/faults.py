@@ -1,0 +1,137 @@
+"""Deterministic fault injection for the shared-memory worker pool.
+
+Chaos testing a multiprocess serving stack with real signals and random
+timing produces flaky tests; this module makes failures *scripted*.  A
+:class:`FaultPlan` is a picklable list of :class:`Fault` records, each naming
+a worker index, that worker's 1-based request step, and an action to take
+when the step is reached:
+
+* ``kill``     — the worker SIGKILLs itself on receipt of the request,
+  before computing (a crash mid-batch: the job is unacknowledged and the
+  parent's supervisor must respawn + retry it);
+* ``drop``     — the worker computes the result but never replies, and stops
+  heartbeating (a hang: stall detection or the batch deadline must fire);
+* ``delay``    — the worker sleeps ``seconds`` before replying (a slow
+  straggler; heartbeats keep flowing, so supervision must *not* trigger);
+* ``corrupt``  — the worker computes the result and its checksum, then
+  scribbles over the shared-memory payload before replying (transport
+  corruption: the parent's checksum verification must catch it and retry).
+
+Plans can be scripted exactly (:meth:`FaultPlan.kill` etc., chainable) or
+generated from a seed (:meth:`FaultPlan.random`), and the same plan always
+produces the same failure sequence — which is what lets the chaos suite
+assert *bit-exact* equality between a faulted run and a fault-free one.
+
+Creating a pool with ``ShmWorkerPool(job, n, faults=plan)`` ships the plan to
+every worker (each worker applies only the faults addressed to its index) and
+turns on payload checksums so ``corrupt`` faults are detectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Fault", "FaultPlan"]
+
+_KINDS = ("kill", "drop", "delay", "corrupt")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scripted failure: ``kind`` at worker ``worker``'s step ``step``."""
+
+    kind: str
+    worker: int
+    step: int                 # 1-based index of the worker's "run" messages
+    seconds: float = 0.0      # delay duration (kind == "delay")
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"expected one of {_KINDS}")
+        if self.step < 1:
+            raise ValueError("fault step is 1-based; got "
+                             f"{self.step}")
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic, picklable schedule of worker faults.
+
+    Build one by chaining the fluent helpers::
+
+        plan = FaultPlan().kill(worker=0, step=1).delay(worker=1, step=2,
+                                                        seconds=0.05)
+
+    or generate a seeded random schedule with :meth:`random`.  An *empty*
+    plan injects nothing — passing ``FaultPlan()`` to a pool only enables
+    payload checksums, which is how the supervision-overhead benchmark
+    isolates the verification cost.
+    """
+
+    faults: list[Fault] = field(default_factory=list)
+
+    # -- construction ---------------------------------------------------- #
+    def add(self, fault: Fault) -> "FaultPlan":
+        self.faults.append(fault)
+        return self
+
+    def kill(self, worker: int, step: int) -> "FaultPlan":
+        return self.add(Fault("kill", worker, step))
+
+    def drop(self, worker: int, step: int) -> "FaultPlan":
+        return self.add(Fault("drop", worker, step))
+
+    def delay(self, worker: int, step: int, seconds: float) -> "FaultPlan":
+        return self.add(Fault("delay", worker, step, seconds))
+
+    def corrupt(self, worker: int, step: int) -> "FaultPlan":
+        return self.add(Fault("corrupt", worker, step))
+
+    @classmethod
+    def random(cls, seed: int, num_workers: int, steps: int,
+               p_kill: float = 0.0, p_drop: float = 0.0,
+               p_delay: float = 0.0, p_corrupt: float = 0.0,
+               delay_seconds: float = 0.01) -> "FaultPlan":
+        """A seeded schedule: each (worker, step) cell draws one fault.
+
+        The same ``seed`` always yields the same plan, so a chaos run is
+        reproducible end to end.
+        """
+        rng = np.random.default_rng(seed)
+        plan = cls()
+        for worker in range(num_workers):
+            for step in range(1, steps + 1):
+                u = rng.random()
+                if u < p_kill:
+                    plan.kill(worker, step)
+                elif u < p_kill + p_drop:
+                    plan.drop(worker, step)
+                elif u < p_kill + p_drop + p_delay:
+                    plan.delay(worker, step, delay_seconds)
+                elif u < p_kill + p_drop + p_delay + p_corrupt:
+                    plan.corrupt(worker, step)
+        return plan
+
+    # -- worker-side lookup ---------------------------------------------- #
+    def for_worker(self, worker: int) -> dict[int, Fault]:
+        """The faults addressed to one worker, keyed by step.
+
+        At most one fault applies per (worker, step); the first scripted one
+        wins, matching the order the plan was built in.
+        """
+        out: dict[int, Fault] = {}
+        for fault in self.faults:
+            if fault.worker == worker and fault.step not in out:
+                out[fault.step] = fault
+        return out
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __bool__(self) -> bool:
+        # An empty plan is still "active" (it enables checksums); truthiness
+        # reflects whether any fault is actually scheduled.
+        return bool(self.faults)

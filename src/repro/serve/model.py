@@ -607,16 +607,34 @@ class CompiledModel:
         self.steps: tuple[_Step, ...] = tuple(steps)
         self.arena_pool: ArenaPool | None = ArenaPool() if use_arena else None
 
-    def infer(self, x: np.ndarray) -> np.ndarray:
-        """Run one batch through the compiled pipeline."""
+    def infer(self, x: np.ndarray, deadline: float | None = None) -> np.ndarray:
+        """Run one batch through the compiled pipeline.
+
+        ``deadline`` is an absolute :func:`time.monotonic` timestamp (the
+        serving layer's convention — see :mod:`repro.serve.errors`): the
+        pipeline checks it before starting and between steps, raising
+        :class:`~repro.serve.RequestTimeout` as soon as the budget is gone
+        instead of finishing a result nobody will read.  An aborted call's
+        workspace arena is reclaimed by the pool's lease bookkeeping.
+        """
+        from .errors import RequestTimeout, deadline_clock
+
+        def check_deadline() -> None:
+            if deadline is not None and deadline_clock() >= deadline:
+                raise RequestTimeout("deadline expired mid-inference",
+                                     deadline=deadline, now=deadline_clock())
+
+        check_deadline()
         out = np.asarray(x, dtype=np.float64)
         if self.arena_pool is None:
             for step in self.steps:
                 out = step.run(out, None)
+                check_deadline()
             return out
         with self.arena_pool.lease() as arena:
             for step in self.steps:
                 out = step.run(out, arena)
+                check_deadline()
             if isinstance(out, np.ndarray) and arena.owns(out):
                 out = out.copy()     # never hand out live arena buffers
         return out

@@ -6,13 +6,40 @@
   does the actual math;
 * a :class:`~repro.serve.MicroBatcher` coalesces :meth:`submit`-ed
   single-image requests into batches under a latency deadline, per shape;
-* one or more worker threads drain the batcher, stack each batch, run the
-  model, and fulfil the request handles;
+* one or more worker threads block on the batcher's condition variable
+  (no polling), stack each ready batch, run the model, and fulfil the
+  request handles;
 * every completed request feeds the latency/throughput accounting exposed by
-  :meth:`stats` (p50/p99 latency, mean batch size, requests per second).
+  :meth:`stats` (p50/p99 latency, mean batch size, requests per second,
+  queue watermark, shed/timeout/fallback counters).
+
+Failure modes and guarantees (PR 6):
+
+* **Bounded admission** — ``max_pending`` caps the queue; a submit past it
+  raises :class:`~repro.serve.ServerOverloaded` immediately (load shedding)
+  rather than letting latency grow without bound.
+* **Deadlines** — ``submit(x, deadline=0.5)`` attaches an end-to-end budget:
+  expired requests are failed with :class:`~repro.serve.RequestTimeout`
+  *before* dispatch (never computed and discarded), and the serving loop
+  forwards the batch's tightest remaining deadline to models whose ``infer``
+  accepts a ``deadline=`` keyword (:class:`~repro.serve.CompiledModel`
+  does, aborting between steps).  :meth:`infer`'s timeout rides the same
+  path and cancels the queued request on expiry, so no orphaned work stays
+  behind.
+* **Graceful degradation** — when the primary model raises
+  :class:`~repro.serve.PoolUnavailable` (its worker pool died and could not
+  be respawned), the batch is transparently re-run on the in-process
+  ``fallback`` model if one was given; the fall-back count is visible in
+  :meth:`stats`.
+* **At-most-once vs retried execution** — a request is computed at most
+  once by *this* server; retries below the model boundary (a supervised
+  :class:`~repro.serve.ShmWorkerPool` re-dispatching a dead worker's chunk)
+  are invisible here and bit-exact by construction.
 
 ``close()`` shuts down gracefully: the batcher stops accepting work, the
-worker threads drain everything already queued, and only then exit.
+worker threads drain everything already queued, and only then exit — the
+condition-variable wakeup makes shutdown immediate, not quantized to a poll
+interval.
 """
 
 from __future__ import annotations
@@ -23,8 +50,17 @@ import time
 import numpy as np
 
 from .batcher import InferenceRequest, MicroBatcher
+from .errors import PoolUnavailable, RequestTimeout, deadline_clock
 
 __all__ = ["Server", "ServerStats"]
+
+
+def _accepts_deadline(fn) -> bool:
+    import inspect
+    try:
+        return "deadline" in inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
 
 
 class ServerStats:
@@ -37,6 +73,8 @@ class ServerStats:
         self.requests = 0
         self.batches = 0
         self.batched_requests = 0
+        self.timeouts = 0
+        self.fallbacks = 0
         self._started_at = time.perf_counter()
 
     def record_batch(self, requests: list[InferenceRequest]) -> None:
@@ -57,6 +95,14 @@ class ServerStats:
             if len(self._latencies) > self._window:
                 del self._latencies[:-self._window]
 
+    def record_timeout(self, n: int = 1) -> None:
+        with self._lock:
+            self.timeouts += n
+
+    def record_fallback(self) -> None:
+        with self._lock:
+            self.fallbacks += 1
+
     def snapshot(self) -> dict:
         with self._lock:
             lat = np.asarray(self._latencies, dtype=np.float64)
@@ -67,6 +113,8 @@ class ServerStats:
                 "mean_batch_size": (self.batched_requests / self.batches
                                     if self.batches else 0.0),
                 "throughput_rps": self.requests / elapsed,
+                "timeouts": self.timeouts,
+                "fallbacks": self.fallbacks,
             }
             if lat.size:
                 out["latency_p50_ms"] = float(np.percentile(lat, 50) * 1e3)
@@ -88,14 +136,29 @@ class Server:
         Worker threads draining the batcher.  One is right for the GIL-bound
         numpy pipeline; more only helps when the model itself releases the
         GIL for long stretches (large BLAS calls).
+    max_pending:
+        Admission cap: total queued requests past which :meth:`submit`
+        sheds load with :class:`~repro.serve.ServerOverloaded`
+        (``None`` = unbounded, the pre-PR 6 behaviour).
+    fallback:
+        Optional in-process model used when ``model`` raises
+        :class:`~repro.serve.PoolUnavailable` — the graceful-degradation
+        path for pool-backed models.
     """
 
     def __init__(self, model, *, max_batch_size: int = 8,
-                 max_delay_ms: float = 2.0, num_threads: int = 1):
+                 max_delay_ms: float = 2.0, num_threads: int = 1,
+                 max_pending: int | None = None, fallback=None):
         self._infer = model.infer if hasattr(model, "infer") else model
+        self._infer_deadline = _accepts_deadline(self._infer)
         self.model = model
+        self.fallback = fallback
+        self._fallback_infer = (None if fallback is None else
+                                (fallback.infer if hasattr(fallback, "infer")
+                                 else fallback))
         self.batcher = MicroBatcher(max_batch_size=max_batch_size,
-                                    max_delay_ms=max_delay_ms)
+                                    max_delay_ms=max_delay_ms,
+                                    max_pending=max_pending)
         self.stats_ = ServerStats()
         self._threads = [
             threading.Thread(target=self._serve_loop, daemon=True,
@@ -109,20 +172,45 @@ class Server:
     # Serving loop
     # ------------------------------------------------------------------ #
     def _serve_loop(self) -> None:
+        # next_batch(timeout=None) blocks on the batcher's condition variable
+        # until work arrives or close() drains — no poll-interval quantization
+        # of first-request latency or shutdown.
         while True:
-            batch = self.batcher.next_batch(timeout=0.05)
-            if batch is None:
-                if self.batcher.closed and self.batcher.pending() == 0:
-                    return
-                continue
+            batch = self.batcher.next_batch()
+            if batch is None:                  # closed and fully drained
+                return
             self._run_batch(batch)
 
+    def _batch_deadline(self, batch: list[InferenceRequest]) -> float | None:
+        deadlines = [r.deadline for r in batch if r.deadline is not None]
+        return min(deadlines) if deadlines else None
+
+    def _execute(self, stacked: np.ndarray, deadline: float | None):
+        if deadline is not None and self._infer_deadline:
+            return self._infer(stacked, deadline=deadline)
+        return self._infer(stacked)
+
     def _run_batch(self, batch: list[InferenceRequest]) -> None:
+        deadline = self._batch_deadline(batch)
         try:
             stacked = np.stack([request.x for request in batch])
-            out = self._infer(stacked)
+            try:
+                out = self._execute(stacked, deadline)
+            except PoolUnavailable:
+                # The model's worker pool is gone for good: degrade to the
+                # in-process fallback rather than failing the batch.
+                if self._fallback_infer is None:
+                    raise
+                self.stats_.record_fallback()
+                out = self._fallback_infer(stacked)
             for i, request in enumerate(batch):
                 request.set_result(out[i])
+        except RequestTimeout as exc:
+            # Batch-granularity deadline: the tightest request deadline
+            # aborted the whole batch (see the module docstring).
+            self.stats_.record_timeout(len(batch))
+            for request in batch:
+                request.set_error(exc)
         except BaseException as exc:  # propagate to every waiting caller
             for request in batch:
                 request.set_error(exc)
@@ -131,32 +219,66 @@ class Server:
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
-    def submit(self, x: np.ndarray) -> InferenceRequest:
-        """Enqueue one ``(C, H, W)`` image; returns a waitable handle."""
+    def submit(self, x: np.ndarray,
+               deadline: float | None = None) -> InferenceRequest:
+        """Enqueue one ``(C, H, W)`` image; returns a waitable handle.
+
+        ``deadline`` (seconds from now) bounds the request end to end: if it
+        is still queued when the deadline passes it is failed with
+        :class:`RequestTimeout` without being computed, and the remaining
+        budget is propagated to deadline-aware models.
+        """
         if self._closed:
             raise RuntimeError("server is closed")
-        return self.batcher.submit(x)
+        return self.batcher.submit(x, deadline_s=deadline)
 
     def infer(self, x: np.ndarray, timeout: float | None = 30.0) -> np.ndarray:
-        """Submit one image and block for its result."""
-        return self.submit(x).result(timeout)
+        """Submit one image and block for its result.
+
+        ``timeout`` doubles as the request's end-to-end deadline; on expiry
+        the queued request is cancelled (the dispatch loop will skip it — no
+        orphaned work is computed and discarded) and
+        :class:`RequestTimeout` is raised.
+        """
+        request = self.submit(x, deadline=timeout)
+        try:
+            return request.result(timeout)
+        except RequestTimeout as exc:
+            self.stats_.record_timeout()
+            request.cancel(exc)
+            raise
 
     def infer_batch(self, x: np.ndarray) -> np.ndarray:
         """Synchronous whole-batch inference, bypassing the queue.
 
-        Still recorded in the server stats (as one direct batch).
+        Still recorded in the server stats (as one direct batch), and still
+        covered by the pool-unavailable fallback path.
         """
         if self._closed:
             raise RuntimeError("server is closed")
         start = time.perf_counter()
-        out = self._infer(np.asarray(x))
-        self.stats_.record_direct(np.asarray(x).shape[0],
+        stacked = np.asarray(x)
+        try:
+            out = self._infer(stacked)
+        except PoolUnavailable:
+            if self._fallback_infer is None:
+                raise
+            self.stats_.record_fallback()
+            out = self._fallback_infer(stacked)
+        self.stats_.record_direct(stacked.shape[0],
                                   time.perf_counter() - start)
         return out
 
     def stats(self) -> dict:
-        """Throughput and p50/p99 latency snapshot."""
-        return self.stats_.snapshot()
+        """Throughput, latency, and robustness counters snapshot."""
+        out = self.stats_.snapshot()
+        out["queue_depth"] = self.batcher.pending()
+        out["queue_high_watermark"] = self.batcher.high_watermark
+        out["queue_limit"] = self.batcher.max_pending
+        out["shed"] = self.batcher.shed
+        out["expired_in_queue"] = self.batcher.expired
+        out["cancelled_skipped"] = self.batcher.cancelled_skipped
+        return out
 
     # ------------------------------------------------------------------ #
     def close(self, timeout: float = 10.0) -> None:
