@@ -11,7 +11,7 @@ trajectory is tracked from PR to PR.
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--output PATH]
-        [--serve-output PATH] [--repeats N] [--warmup N] [--smoke]
+        [--serve-output PATH] [--repeats N] [--warmup N] [--smoke] [--check]
 
 Acceptance numbers (same 4x32x32x32 input, 32 output channels, F4):
 
@@ -36,8 +36,24 @@ Serving-layer numbers (PR 5, written to ``BENCH_serve.json``):
   with supervision disabled (``heartbeat_interval=None``, the bare PR 5
   wire) — fault tolerance must not tax the fast path.
 
+Autotuned-tier numbers (PR 7, paired round by round against ``fast``):
+
+* ``tuned_f2_forward`` / ``tuned_f4_forward`` / ``tuned_f4_fused_autograd``
+  — the ``tuned`` backend after a full in-process tuning pass must be >= 1x
+  the untuned ``fast`` backend on every case, and >= 1.15x on at least one
+  Winograd forward case.
+* ``tuned_served_model`` (``BENCH_serve.json``) — a deep-layer conv stack
+  compiled with ``compile_model(..., autotune="full")`` against the same
+  stack pinned to the untuned ``fast`` backend.
+
 ``--smoke`` runs everything with tiny repeat counts and exits 0 regardless
 of the measured ratios — the CI plumbing check, not a perf gate.
+
+``--check`` compares a fresh run against the *committed* BENCH json files
+instead of overwriting them: any ``speedup_*`` ratio that drops more than
+15% below its committed value (or ``overhead_*`` ratio that rises more than
+15% above) fails the run.  This is the CI regression gate; combined with
+``--smoke`` it still exits 0.
 """
 
 from __future__ import annotations
@@ -174,6 +190,74 @@ def planned_vs_eager_cases(repeats: int, warmup: int) -> dict:
 
 
 # --------------------------------------------------------------------------- #
+# Autotuned tier (PR 7): tuned backend vs untuned fast, after a tuning pass
+# --------------------------------------------------------------------------- #
+def tuned_vs_fast_cases(repeats: int, warmup: int) -> dict:
+    """Paired-round medians of the ``tuned`` backend against untuned ``fast``.
+
+    Each tuned measurement runs one full-mode tuning pass first (every
+    primitive key of the workload benchmarked and bound to its winner, the
+    winners persisted to the shared plan cache), then streams the workload
+    through the bound choices — the steady state a tuned deployment sees.
+    The fast side is the same plan executed with the untuned defaults.
+
+    The forward workloads use deep-layer geometry — 64 channels on small
+    feature maps (the 14x14/16x16 stages of a deep network) — where the
+    fixed strategy costs `fast` the most: with only a handful of tile rows
+    per image, its per-image 144KB-blocked loop degenerates into many tiny
+    GEMM chains, and the tuner's whole-batch tile ordering or 4-8x larger
+    blocks win outright.  The autograd workload keeps 64 channels at 32x32,
+    where one row of F4 tiles already fills the 144KB working-set target
+    (one Python-level block iteration per tile row untuned).
+    """
+    from repro.engine import CompiledConv, autotune, clear_plan_cache
+
+    w64 = _RNG.normal(size=(64, 64, 3, 3))
+    x_ag = _RNG.normal(size=(4, 64, 32, 32))
+    grad64 = _RNG.normal(size=(4, 64, 32, 32))
+
+    clear_plan_cache()
+    results = {}
+    pairs = {}
+    for case_name, tname, x in (
+            ("tuned_f2_forward", "F2", _RNG.normal(size=(8, 64, 14, 14))),
+            ("tuned_f4_forward", "F4", _RNG.normal(size=(8, 64, 16, 16)))):
+        tuned_conv = CompiledConv(w64, padding=1, transform=tname,
+                                  backend="tuned")
+        fast_conv = CompiledConv(w64, padding=1, transform=tname,
+                                 backend="fast")
+        with autotune.use_mode("full"):
+            tuned_conv(x)
+        pairs[case_name] = (lambda c=tuned_conv, x=x: c(x),
+                            lambda c=fast_conv, x=x: c(x))
+
+    def tuned_autograd():
+        x = Tensor(x_ag, requires_grad=True)
+        w = Tensor(w64, requires_grad=True)
+        out = winograd_conv2d_tensor(x, w, winograd_f4(), padding=1,
+                                     backend="tuned")
+        out.backward(grad64)
+
+    def fast_autograd():
+        x = Tensor(x_ag, requires_grad=True)
+        w = Tensor(w64, requires_grad=True)
+        out = winograd_conv2d_tensor(x, w, winograd_f4(), padding=1,
+                                     backend="fast")
+        out.backward(grad64)
+
+    with autotune.use_mode("full"):
+        tuned_autograd()
+    pairs["tuned_f4_fused_autograd"] = (tuned_autograd, fast_autograd)
+
+    for case_name, (tuned_fn, fast_fn) in pairs.items():
+        case = _paired_case(tuned_fn, fast_fn, repeats, warmup,
+                            "tuned_s", "fast_s", "speedup_tuned_vs_fast")
+        results[case_name] = case
+        _print_case(case_name, case)
+    return results
+
+
+# --------------------------------------------------------------------------- #
 # Serving layer (repro.serve): compiled models and the shm worker pool
 # --------------------------------------------------------------------------- #
 def _paired_case(fast_fn, slow_fn, repeats: int, warmup: int,
@@ -276,6 +360,30 @@ def serve_cases(repeats: int, warmup: int) -> dict:
     results["served_model_f4"] = case
     _print_case("served_model_f4", case)
 
+    # -- tuned-backend served model (PR 7) ---------------------------------- #
+    # A deep-layer conv stack (64 channels at 16x16 — the geometry of a deep
+    # network's middle stages, where the tuner's choices actually differ from
+    # fast's fixed strategy) compiled with a full autotuning pass folded into
+    # the warmup trace, against the same stack pinned to untuned ``fast``.
+    # resnet_tiny's 8-32 channel layers are too small for tuning to matter;
+    # they stay the fault-tolerance/serving workload above.
+    from repro.nn.layers import Conv2d
+    from repro.nn.module import Sequential
+    deep_rng = np.random.default_rng(5)
+    deep_model = Sequential(*[Conv2d(64, 64, 3, padding=1, rng=deep_rng)
+                              for _ in range(3)])
+    deep_model.eval()
+    deep_batch = _RNG.normal(size=(8, 64, 16, 16))
+    tuned_served = compile_model(deep_model, (8, 64, 16, 16), autotune="full")
+    clear_plan_cache()        # the fast twin must not reuse tuned-keyed plans
+    fast_served = compile_model(deep_model, (8, 64, 16, 16), backend="fast")
+    case = _paired_case(lambda: tuned_served.infer(deep_batch),
+                        lambda: fast_served.infer(deep_batch),
+                        repeats, warmup, "tuned_s", "fast_s",
+                        "speedup_tuned_vs_fast")
+    results["tuned_served_model"] = case
+    _print_case("tuned_served_model", case)
+
     # -- shm pool vs pickle BatchRunner ------------------------------------- #
     job = ConvJob(weight=W, padding=1, transform="F4")
     try:
@@ -329,7 +437,12 @@ def serve_cases(repeats: int, warmup: int) -> dict:
 
 
 def run_benchmarks(repeats: int, warmup: int) -> dict:
-    backends = available_backends()
+    # The generic per-backend sweep covers the untuned tiers only: switching
+    # the process-wide backend every round fires the plan-cache eviction
+    # listeners, which would charge cache-rebuild churn (and tuning-store
+    # invalidation) to the tuned tier.  The tuned backend is measured by the
+    # dedicated paired cases in :func:`tuned_vs_fast_cases` instead.
+    backends = [b for b in ("reference", "fast") if b in available_backends()]
     results = {}
     for case_name, fn in CASES.items():
         times = {name: [] for name in backends}
@@ -358,6 +471,56 @@ def run_benchmarks(repeats: int, warmup: int) -> dict:
     return results
 
 
+def _load_baseline(path: str) -> dict | None:
+    """Committed results of one BENCH json file, or None when unreadable."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+        results = data.get("results")
+        return results if isinstance(results, dict) else None
+    except (OSError, ValueError):
+        return None
+
+
+def check_regressions(baseline: dict, fresh: dict, label: str,
+                      tolerance: float = 0.15) -> list[str]:
+    """Compare a fresh run against committed numbers; return problem strings.
+
+    Every ``speedup_*`` ratio in the baseline must stay within ``tolerance``
+    below its committed value; every ``overhead_*`` ratio within ``tolerance``
+    above.  A case or ratio present in the baseline but missing from the
+    fresh run is itself a failure — a silently-dropped benchmark must not
+    read as a pass.  Cases the baseline recorded as skipped are ignored.
+    """
+    problems = []
+    for case_name, base_case in baseline.items():
+        if not isinstance(base_case, dict) or "skipped" in base_case:
+            continue
+        fresh_case = fresh.get(case_name)
+        if not isinstance(fresh_case, dict) or "skipped" in fresh_case:
+            problems.append(f"{label}:{case_name}: missing from fresh run")
+            continue
+        for key, base_val in base_case.items():
+            if not isinstance(base_val, (int, float)):
+                continue
+            lower = key.startswith("speedup_")
+            if not lower and not key.startswith("overhead_"):
+                continue
+            fresh_val = fresh_case.get(key)
+            if not isinstance(fresh_val, (int, float)):
+                problems.append(f"{label}:{case_name}.{key}: missing from "
+                                "fresh run")
+            elif lower and fresh_val < base_val * (1.0 - tolerance):
+                problems.append(
+                    f"{label}:{case_name}.{key}: {fresh_val:.2f}x is >15% "
+                    f"below committed {base_val:.2f}x")
+            elif not lower and fresh_val > base_val * (1.0 + tolerance):
+                problems.append(
+                    f"{label}:{case_name}.{key}: {fresh_val:.2f}x is >15% "
+                    f"above committed {base_val:.2f}x")
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
     parser.add_argument("--output", default=os.path.join(os.path.dirname(_HERE),
@@ -370,10 +533,26 @@ def main(argv=None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="tiny repeat counts, no perf gating (CI plumbing "
                              "check)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed BENCH json files "
+                             "(>15% regression fails) instead of overwriting "
+                             "them")
     args = parser.parse_args(argv)
     if args.smoke:
         args.repeats = min(args.repeats, 3)
         args.warmup = min(args.warmup, 1)
+
+    from repro.engine import autotune, plan_cache_stats
+    from repro.kernels import get_backend
+
+    baselines = {}
+    if args.check:
+        for path in (args.output, args.serve_output):
+            baseline = _load_baseline(path)
+            if baseline is None:
+                print(f"--check: no readable baseline at {path}")
+                return 0 if args.smoke else 1
+            baselines[path] = baseline
 
     meta = {
         "workload": {"input": list(X.shape), "weight": list(W.shape),
@@ -383,20 +562,47 @@ def main(argv=None) -> int:
         "numpy": np.__version__,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "backend": get_backend(None).name,
+        "autotune_mode": autotune.get_mode(),
     }
+
+    def meta_now() -> dict:
+        """Meta plus live cache counters at write time (satellite 2)."""
+        pc = plan_cache_stats()
+        return dict(meta,
+                    plan_cache={"hits": pc.hits, "misses": pc.misses,
+                                "evictions": pc.evictions, "size": pc.size},
+                    tuning_cache=autotune.stats_dict())
 
     results = run_benchmarks(args.repeats, args.warmup)
     results.update(planned_vs_eager_cases(args.repeats, args.warmup))
-    with open(args.output, "w") as fh:
-        json.dump({"meta": meta, "results": results}, fh, indent=2)
-        fh.write("\n")
-    print(f"wrote {args.output}")
+    results.update(tuned_vs_fast_cases(args.repeats, args.warmup))
+    if not args.check:
+        with open(args.output, "w") as fh:
+            json.dump({"meta": meta_now(), "results": results}, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.output}")
 
     serve_results = serve_cases(args.repeats, args.warmup)
-    with open(args.serve_output, "w") as fh:
-        json.dump({"meta": meta, "results": serve_results}, fh, indent=2)
-        fh.write("\n")
-    print(f"wrote {args.serve_output}")
+    if not args.check:
+        with open(args.serve_output, "w") as fh:
+            json.dump({"meta": meta_now(), "results": serve_results}, fh,
+                      indent=2)
+            fh.write("\n")
+        print(f"wrote {args.serve_output}")
+
+    if args.check:
+        problems = (check_regressions(baselines[args.output], results,
+                                      "kernels")
+                    + check_regressions(baselines[args.serve_output],
+                                        serve_results, "serve"))
+        for problem in problems:
+            print(f"REGRESSION {problem}")
+        if not problems:
+            print("--check: no regressions against committed baselines")
+        if args.smoke:
+            return 0
+        return 1 if problems else 0
 
     headline = results.get("winograd_f4_forward", {})
     speedup = headline.get("speedup_fast_vs_reference", 0.0)
@@ -412,6 +618,13 @@ def main(argv=None) -> int:
     overhead = serve_results.get("shm_pool_supervision_overhead", {}).get(
         "overhead_supervised_vs_bare")
     overhead_ok = overhead is not None and overhead <= 1.05
+    tuned_ratios = {name: case.get("speedup_tuned_vs_fast", 0.0)
+                    for name, case in {**results, **serve_results}.items()
+                    if name.startswith("tuned_")}
+    tuned_ok = bool(tuned_ratios) and all(r >= 1.0
+                                          for r in tuned_ratios.values())
+    tuned_fwd = max(tuned_ratios.get("tuned_f2_forward", 0.0),
+                    tuned_ratios.get("tuned_f4_forward", 0.0))
     print(f"headline winograd_f4_forward speedup: {speedup:.2f}x (target >= 2x)")
     print(f"headline planned_f4_forward speedup:  {planned:.2f}x (target >= 1.3x)")
     print(f"headline served_model_f4 speedup:     {served:.2f}x (target >= 1.2x)")
@@ -419,10 +632,14 @@ def main(argv=None) -> int:
     if overhead is not None:
         print(f"supervision overhead:                 {overhead:.3f}x "
               "(target <= 1.05x)")
+    print("tuned vs fast:                        "
+          + "  ".join(f"{name}={r:.2f}x" for name, r in tuned_ratios.items())
+          + "  (targets: all >= 1.0x, best forward >= 1.15x)")
     if args.smoke:
         return 0
     return 0 if (speedup >= 2.0 and planned >= 1.3
-                 and served >= 1.2 and pool_ok and overhead_ok) else 1
+                 and served >= 1.2 and pool_ok and overhead_ok
+                 and tuned_ok and tuned_fwd >= 1.15) else 1
 
 
 if __name__ == "__main__":

@@ -5,7 +5,10 @@ Walks the `repro.serve` subsystem end to end:
 1. **Whole-model compilation** — a CIFAR ResNet is lowered into an immutable
    pipeline of plan-bound steps (weights pre-transformed, BatchNorm folded,
    ReLU fused, workspaces arena-allocated) and checked against the eager
-   module graph.
+   module graph. ``autotune="cached"`` pins the convolutions to the
+   autotuned kernel tier and warms any per-shape winners persisted in
+   ``~/.cache/repro-plans`` by earlier tuning runs (``autotune="full"`` or
+   ``repro.engine.autotune.tune`` benchmarks and persists them).
 2. **Micro-batched serving** — single-image requests submitted from client
    threads are coalesced into batches under a latency deadline and served;
    the server reports p50/p99 latency and throughput.
@@ -24,7 +27,7 @@ import time
 
 import numpy as np
 
-from repro.engine import BatchRunner, ConvJob
+from repro.engine import BatchRunner, ConvJob, autotune
 from repro.models.resnet_cifar import resnet_tiny
 from repro.nn import Tensor
 from repro.nn.tensor import no_grad
@@ -38,7 +41,11 @@ def main() -> None:
     # --- 1. whole-model compilation -----------------------------------------
     model = resnet_tiny()
     model.eval()
-    compiled = compile_model(model, input_shape=(8, 3, 32, 32))
+    # autotune="cached" serves on the `tuned` backend with whatever per-shape
+    # kernel winners previous tuning runs persisted to disk; misses fall back
+    # to the fast defaults without benchmarking (production-safe cold start).
+    compiled = compile_model(model, input_shape=(8, 3, 32, 32),
+                             autotune="cached")
     x = rng.normal(size=(8, 3, 32, 32))
     with no_grad():
         eager = model(Tensor(x)).data
@@ -49,6 +56,11 @@ def main() -> None:
     print(f"    max |compiled - eager| = {np.abs(served - eager).max():.2e}, "
           f"workspace arena = {compiled.workspace_nbytes / 1024:.0f} KiB "
           f"(reused every call)")
+    tuning = autotune.stats_dict()
+    print(f"    autotune: mode={autotune.get_mode()}, "
+          f"winners loaded from disk={tuning['loaded_records']}, "
+          f"keys defaulted={tuning['default_keys']} "
+          f"(tune(model, shape) benches + persists winners)")
 
     # --- 2. micro-batched serving -------------------------------------------
     images = [rng.normal(size=(3, 32, 32)) for _ in range(48)]

@@ -1,0 +1,515 @@
+"""Plan-guided autotuning: benchmark kernel variants once, remember forever.
+
+The ``fast`` backend picks one implementation strategy per primitive — one
+cache-block size for the fused Winograd forward, one GEMM batching for the
+pair transforms — and those choices are a compromise across every shape the
+library serves.  The ``tuned`` backend (:mod:`repro.kernels.tuned`) instead
+asks *this* module, per call-shape key, which of its candidate variants to
+run.  This module answers from three tiers:
+
+1. an **in-process store** of winners (and of the defaults it fell back to);
+2. a **versioned on-disk cache** (``REPRO_PLAN_CACHE`` or
+   ``~/.cache/repro-plans/``, keyed by cache version + numpy version +
+   machine) so cold processes — including respawned pool workers — skip
+   tuning entirely;
+3. **live benchmarking** of the candidate variants, but only in ``full``
+   mode and only within the caller's time budget.
+
+Modes (``REPRO_AUTOTUNE`` / :func:`set_mode` / :func:`use_mode`):
+
+* ``off``    — the tuned backend runs its defaults (== ``fast``'s choices),
+  consulting nothing.  Zero overhead beyond a dict lookup.
+* ``cached`` — (default) use winners from memory or disk; a miss binds the
+  default choice *without* benchmarking.  Safe for production workers.
+* ``full``   — a miss (or a previously defaulted key) triggers an inline
+  benchmark of every candidate; the winner is bound, recorded, and persisted
+  to disk.  :func:`tune` wraps a model warm-up in this mode with an explicit
+  time budget.
+
+Records are pure data (a choice dict + timing), never backend objects: an
+on-disk record naming a backend that is no longer registered is skipped at
+load time (a clean miss counted in ``stale_records``), never an
+:class:`~repro.kernels.UnknownBackendError`.  A corrupt cache file loads as
+an empty store.  Writes are atomic (temp file + ``os.replace``) and merge
+with the on-disk state, so concurrent processes tuning different layers
+union their winners rather than clobbering each other.
+
+Backend switches (``set_backend`` & friends) already evict the plan cache —
+and with it every :class:`TuningRecord` attached to a plan; this module
+additionally drops its *default-choice* placeholder bindings on the same
+notification (winners are shape-keyed measurements and stay valid).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import platform
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..kernels import add_backend_listener, available_backends
+
+__all__ = [
+    "ENV_MODE",
+    "ENV_CACHE_DIR",
+    "MODES",
+    "CACHE_VERSION",
+    "TuningRecord",
+    "get_mode",
+    "set_mode",
+    "use_mode",
+    "use_budget",
+    "budget_remaining",
+    "decide",
+    "lookup",
+    "warm_disk",
+    "cache_path",
+    "tune",
+    "stats",
+    "stats_dict",
+    "reset_stats",
+    "reset_state",
+    "plan_key",
+]
+
+ENV_MODE = "REPRO_AUTOTUNE"
+ENV_CACHE_DIR = "REPRO_PLAN_CACHE"
+MODES = ("off", "cached", "full")
+CACHE_VERSION = 1
+
+# Benchmark rounds per candidate in full mode (interleaved, min-of-rounds —
+# the same robustness idea as run_bench.py's paired rounds).
+BENCH_ROUNDS = 3
+
+
+@dataclass
+class AutotuneStats:
+    """Counters of the process-wide tuning store (see :func:`stats`).
+
+    ``benchmarks_run`` counts individual timed candidate executions; a warm
+    second process must show it at zero — that is the acceptance criterion
+    the cache round-trip test pins.
+    """
+
+    memory_hits: int = 0        # lookups answered by in-process records
+    disk_hits: int = 0          # lookups answered by records loaded from disk
+    misses: int = 0             # lookups that had no record yet
+    benchmarks_run: int = 0     # timed candidate executions performed
+    tuned_keys: int = 0         # keys bound to a benchmarked winner
+    default_keys: int = 0       # keys bound to the default without tuning
+    disk_loads: int = 0         # cache files read (successfully or not)
+    loaded_records: int = 0     # records adopted from disk
+    stale_records: int = 0      # disk records skipped (unknown backend/shape)
+    disk_load_errors: int = 0   # corrupt/unreadable cache files tolerated
+    persisted_records: int = 0  # records written to disk
+
+
+_STORE: dict[str, dict] = {}
+_STATS = AutotuneStats()
+_LOCK = threading.RLock()
+_DISK_LOADED = False
+_MODE_OVERRIDE: str | None = None
+_BUDGET_DEADLINE: float | None = None
+
+
+# --------------------------------------------------------------------------- #
+# Modes and budgets
+# --------------------------------------------------------------------------- #
+def check_mode(mode: str) -> str:
+    """Validate an autotune mode name; returns it normalised."""
+    m = str(mode).strip().lower()
+    if m not in MODES:
+        raise ValueError(f"unknown autotune mode {mode!r}; "
+                         f"expected one of {MODES}")
+    return m
+
+
+def get_mode() -> str:
+    """The effective mode: override > ``REPRO_AUTOTUNE`` env var > ``cached``."""
+    if _MODE_OVERRIDE is not None:
+        return _MODE_OVERRIDE
+    env = os.environ.get(ENV_MODE, "").strip().lower()
+    if env:
+        return check_mode(env)
+    return "cached"
+
+
+def set_mode(mode: str | None) -> None:
+    """Set (or with ``None`` clear) the process-wide mode override."""
+    global _MODE_OVERRIDE
+    _MODE_OVERRIDE = None if mode is None else check_mode(mode)
+
+
+@contextlib.contextmanager
+def use_mode(mode: str):
+    """Temporarily switch the autotune mode (e.g. ``full`` while warming)."""
+    global _MODE_OVERRIDE
+    prev = _MODE_OVERRIDE
+    _MODE_OVERRIDE = check_mode(mode)
+    try:
+        yield
+    finally:
+        _MODE_OVERRIDE = prev
+
+
+@contextlib.contextmanager
+def use_budget(seconds: float):
+    """Bound the wall-clock time the enclosed code may spend benchmarking.
+
+    Once the budget is spent, further misses bind their default choice
+    without benchmarking (they are *not* errors — tuning is best-effort).
+    """
+    global _BUDGET_DEADLINE
+    prev = _BUDGET_DEADLINE
+    _BUDGET_DEADLINE = time.perf_counter() + float(seconds)
+    try:
+        yield
+    finally:
+        _BUDGET_DEADLINE = prev
+
+
+def budget_remaining() -> float | None:
+    """Seconds of tuning budget left; ``None`` when no budget is active."""
+    if _BUDGET_DEADLINE is None:
+        return None
+    return _BUDGET_DEADLINE - time.perf_counter()
+
+
+def _budget_allows() -> bool:
+    remaining = budget_remaining()
+    return remaining is None or remaining > 0.0
+
+
+# --------------------------------------------------------------------------- #
+# The on-disk cache
+# --------------------------------------------------------------------------- #
+def cache_dir() -> str:
+    """Directory of the persistent plan cache (``REPRO_PLAN_CACHE`` override)."""
+    override = os.environ.get(ENV_CACHE_DIR, "").strip()
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-plans")
+
+
+def cache_path() -> str:
+    """The cache file for this (cache version, numpy version, machine).
+
+    Keying the *filename* on the environment means an upgraded numpy or a
+    different host never even reads winners measured elsewhere — timings
+    don't transfer, and numerical layout choices might not either.
+    """
+    tag = f"v{CACHE_VERSION}-np{np.__version__}-{platform.machine() or 'any'}"
+    return os.path.join(cache_dir(), f"plans-{tag}.json")
+
+
+def _read_cache_file(path: str) -> dict | None:
+    """Parse a cache file; ``None`` on any corruption (tolerated, counted)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError, UnicodeDecodeError):
+        with _LOCK:
+            _STATS.disk_load_errors += 1
+        return None
+    if not isinstance(data, dict) or data.get("version") != CACHE_VERSION \
+            or not isinstance(data.get("records"), dict):
+        with _LOCK:
+            _STATS.disk_load_errors += 1
+        return None
+    return data
+
+
+def warm_disk() -> int:
+    """Load the on-disk winners into the in-process store (idempotent).
+
+    Returns the number of records adopted on this call.  Records whose
+    ``backend`` is no longer registered — e.g. written by a build that had
+    an experimental tier — are skipped as clean misses, never resolved
+    through the registry (so no :class:`UnknownBackendError` can escape a
+    cache load).  In ``off`` mode this is a no-op.
+    """
+    global _DISK_LOADED
+    if get_mode() == "off":
+        return 0
+    with _LOCK:
+        if _DISK_LOADED:
+            return 0
+        _DISK_LOADED = True
+        _STATS.disk_loads += 1
+    data = _read_cache_file(cache_path())
+    if data is None:
+        return 0
+    known = set(available_backends())
+    adopted = 0
+    with _LOCK:
+        for key, rec in data["records"].items():
+            if not isinstance(rec, dict) or not isinstance(key, str) \
+                    or not isinstance(rec.get("choice"), dict) \
+                    or rec.get("backend") not in known:
+                _STATS.stale_records += 1
+                continue
+            if key in _STORE and _STORE[key]["source"] != "default":
+                continue                      # a live winner beats the disk
+            _STORE[key] = {"choice": dict(rec["choice"]), "source": "disk",
+                           "best_s": rec.get("best_s")}
+            adopted += 1
+        _STATS.loaded_records += adopted
+    return adopted
+
+
+def _persist(key: str, choice: dict, best_s: float, backend: str) -> None:
+    """Merge one winner into the cache file, atomically; IO errors tolerated."""
+    path = cache_path()
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        data = _read_cache_file(path) or {
+            "version": CACHE_VERSION,
+            "numpy": np.__version__,
+            "machine": platform.machine() or "any",
+            "records": {},
+        }
+        data["records"][key] = {"choice": dict(choice),
+                                "best_s": float(best_s),
+                                "backend": backend,
+                                "tuned_at": time.time()}
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=".plans-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(data, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+    except OSError:
+        return                     # read-only FS etc.: tuning stays in-memory
+    with _LOCK:
+        _STATS.persisted_records += 1
+
+
+# --------------------------------------------------------------------------- #
+# Lookup and decide
+# --------------------------------------------------------------------------- #
+def lookup(key: str) -> dict | None:
+    """The bound choice for ``key``, or ``None`` (does not bind a default)."""
+    if get_mode() == "off":
+        return None
+    warm_disk()
+    with _LOCK:
+        rec = _STORE.get(key)
+        return None if rec is None else dict(rec["choice"])
+
+
+def _benchmark(candidates, run) -> tuple[dict, float, int]:
+    """Time every candidate (interleaved rounds, min per candidate).
+
+    Every candidate gets at least one timed round even if the budget expires
+    mid-way — a winner chosen over a partial field would depend on candidate
+    order.  Further rounds stop once the budget is gone.
+    """
+    best: list[float] = [float("inf")] * len(candidates)
+    ran = 0
+    for round_no in range(BENCH_ROUNDS):
+        if round_no > 0 and not _budget_allows():
+            break
+        for i, cand in enumerate(candidates):
+            start = time.perf_counter()
+            run(cand)
+            best[i] = min(best[i], time.perf_counter() - start)
+            ran += 1
+    winner = int(np.argmin(best))
+    return dict(candidates[winner]), best[winner], ran
+
+
+def decide(key: str, candidates, run, default: dict, *,
+           backend: str = "tuned") -> dict:
+    """Resolve the variant choice for ``key`` (the tuned backend's entry point).
+
+    ``candidates`` is a sequence of choice dicts, ``run(choice)`` executes
+    the primitive under one choice (used only for benchmarking), ``default``
+    is the untuned fallback (the ``fast`` backend's fixed strategy).
+
+    * ``off``    — returns ``default`` without touching the store.
+    * ``cached`` — returns the bound winner if one exists (memory or disk);
+      otherwise binds and returns ``default``.
+    * ``full``   — additionally benchmarks the candidates on a miss (or on a
+      key previously bound to its default) and binds + persists the winner,
+      budget permitting.
+    """
+    mode = get_mode()
+    if mode == "off":
+        return dict(default)
+    warm_disk()
+    with _LOCK:
+        rec = _STORE.get(key)
+        if rec is not None and not (mode == "full"
+                                    and rec["source"] == "default"):
+            if rec["source"] == "disk":
+                _STATS.disk_hits += 1
+            else:
+                _STATS.memory_hits += 1
+            return dict(rec["choice"])
+        _STATS.misses += 1
+    if mode != "full" or not _budget_allows():
+        with _LOCK:
+            if _STORE.get(key) is None:
+                _STORE[key] = {"choice": dict(default), "source": "default",
+                               "best_s": None}
+                _STATS.default_keys += 1
+        return dict(default)
+    choice, best_s, ran = _benchmark(list(candidates), run)
+    with _LOCK:
+        _STATS.benchmarks_run += ran
+        _STATS.tuned_keys += 1
+        _STORE[key] = {"choice": dict(choice), "source": "tuned",
+                       "best_s": best_s}
+    _persist(key, choice, best_s, backend)
+    return dict(choice)
+
+
+# --------------------------------------------------------------------------- #
+# TuningRecord: the per-plan view into the store
+# --------------------------------------------------------------------------- #
+def plan_key(plan) -> str:
+    """Stable string identity of a :class:`~repro.engine.LayerPlan`."""
+    tname = plan.transform.name if plan.transform is not None else None
+    return (f"{plan.kind}|in={tuple(plan.in_shape)}"
+            f"|w={tuple(plan.weight_shape)}|s={plan.stride}"
+            f"|p={plan.padding}|t={tname}|be={plan.backend.name}")
+
+
+@dataclass(frozen=True)
+class TuningRecord:
+    """The tuning state of one interned plan: its primitive keys + choices.
+
+    Attached to ``LayerPlan.tuning`` when a plan is lowered against the
+    ``tuned`` backend.  ``choices``/``sources`` are live views into the
+    process store (a record survives exactly as long as its plan does — a
+    backend switch evicts the plan cache and the records with it).
+    """
+
+    plan_key: str
+    keys: tuple[str, ...] = field(default=())
+
+    @classmethod
+    def for_plan(cls, plan) -> "TuningRecord":
+        from ..kernels import tuned as _tuned
+        return cls(plan_key=plan_key(plan),
+                   keys=tuple(_tuned.plan_primitive_keys(plan)))
+
+    def choices(self) -> dict[str, dict]:
+        """``{primitive key: bound choice}`` for keys resolved so far."""
+        with _LOCK:
+            return {k: dict(_STORE[k]["choice"])
+                    for k in self.keys if k in _STORE}
+
+    def sources(self) -> dict[str, str]:
+        """``{primitive key: "tuned" | "disk" | "default"}``."""
+        with _LOCK:
+            return {k: _STORE[k]["source"] for k in self.keys if k in _STORE}
+
+
+# --------------------------------------------------------------------------- #
+# Explicit tuning entry point
+# --------------------------------------------------------------------------- #
+def tune(model, input_shape: tuple | None = None, *, budget: float = 2.0,
+         dtype=np.float64) -> dict:
+    """Tune every kernel a model touches, within an explicit time budget.
+
+    ``model`` may be an ``nn.Module`` (its conv layers are traced through the
+    ``tuned`` backend via :func:`repro.engine.warm_plans`), a
+    :class:`~repro.serve.CompiledModel`, a
+    :class:`~repro.engine.CompiledConv`, or any callable taking one NCHW
+    batch.  Compiled objects are executed as-is: they only pick up winners if
+    they were compiled against the ``tuned`` backend (e.g. via
+    ``compile_model(..., autotune=...)``).
+
+    ``budget`` bounds the benchmarking wall-clock (seconds); keys left
+    unresolved when it runs out bind their defaults and can be tuned by a
+    later, bigger-budget call.  Returns a summary of what this call did.
+    """
+    before = stats_dict()
+    with use_mode("full"), use_budget(budget):
+        if hasattr(model, "modules"):                       # nn.Module
+            if input_shape is None:
+                raise ValueError("tune(model) needs input_shape for a Module")
+            from ..kernels import use_backend
+            from . import warm_plans
+            with use_backend("tuned"):
+                warm_plans(model, input_shape, dtype=dtype)
+        elif callable(model):          # CompiledModel / CompiledConv / fn
+            if input_shape is None:
+                raise ValueError("tune(model) needs input_shape")
+            model(np.zeros(input_shape, dtype=dtype))
+        else:
+            raise TypeError(f"cannot tune {type(model).__name__}")
+    after = stats_dict()
+    return {
+        "budget_s": float(budget),
+        "benchmarks_run": after["benchmarks_run"] - before["benchmarks_run"],
+        "tuned_keys": after["tuned_keys"] - before["tuned_keys"],
+        "default_keys": after["default_keys"] - before["default_keys"],
+        "disk_hits": after["disk_hits"] - before["disk_hits"],
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Introspection / lifecycle
+# --------------------------------------------------------------------------- #
+def stats() -> AutotuneStats:
+    """Snapshot of the tuning counters."""
+    with _LOCK:
+        return AutotuneStats(**vars(_STATS))
+
+
+def stats_dict() -> dict:
+    """The counters as a plain dict (picklable; used by pool workers/bench)."""
+    with _LOCK:
+        return dict(vars(_STATS))
+
+
+def reset_stats() -> None:
+    """Zero the counters (bound choices are kept)."""
+    with _LOCK:
+        for name in vars(_STATS):
+            setattr(_STATS, name, 0)
+
+
+def reset_state() -> None:
+    """Forget every bound choice and counter, as a fresh process would.
+
+    The on-disk cache is untouched; the next lookup re-reads it.  Tests use
+    this to simulate a second-process cold start in-process.
+    """
+    global _DISK_LOADED
+    with _LOCK:
+        _STORE.clear()
+        _DISK_LOADED = False
+    reset_stats()
+
+
+def _on_backend_change() -> None:
+    """Drop default-choice placeholder bindings when the backend switches.
+
+    The plan cache (and every per-plan :class:`TuningRecord`) is evicted by
+    its own listener at the same moment; benchmarked winners are shape-keyed
+    measurements that stay valid across switches, so only the untuned
+    placeholders — which exist purely to make repeat lookups cheap — are
+    invalidated here.
+    """
+    with _LOCK:
+        for key in [k for k, r in _STORE.items() if r["source"] == "default"]:
+            del _STORE[key]
+
+
+add_backend_listener(_on_backend_change)

@@ -8,7 +8,11 @@ implementation strategies can coexist:
 * ``"reference"`` — the seed ``np.einsum`` / Python-loop code, frozen for
   equivalence testing (:mod:`repro.kernels.reference`);
 * ``"fast"`` — batched-GEMM formulations that reach BLAS, the default
-  (:mod:`repro.kernels.fast`).
+  (:mod:`repro.kernels.fast`);
+* ``"tuned"`` — per-shape autotuned variants of the fast primitives, driven
+  by :mod:`repro.engine.autotune`'s persistent plan/winner cache
+  (:mod:`repro.kernels.tuned`).  With an empty tuning store it behaves
+  exactly like ``fast``.
 
 Select a backend globally with :func:`set_backend` / :func:`use_backend`, via
 the ``REPRO_KERNEL_BACKEND`` environment variable, or per call with the
@@ -20,7 +24,7 @@ This package deliberately imports nothing else from :mod:`repro`, so every
 compute module can depend on it without import cycles.
 """
 
-from . import fast, reference
+from . import fast, reference, tuned
 from .einsum_cache import cached_einsum
 from .registry import (DEFAULT_BACKEND, ENV_VAR, KernelBackend,
                        UnknownBackendError, add_backend_listener,
@@ -44,3 +48,4 @@ __all__ = [
 
 register_backend(reference.BACKEND)
 register_backend(fast.BACKEND)
+register_backend(tuned.BACKEND)

@@ -237,7 +237,8 @@ def transform_weights_tap_major(weight: np.ndarray, transform) -> np.ndarray:
 def winograd_forward(x_padded: np.ndarray, weight: np.ndarray, transform,
                      out_h: int, out_w: int,
                      w_r: np.ndarray | None = None,
-                     out: np.ndarray | None = None) -> np.ndarray:
+                     out: np.ndarray | None = None,
+                     block_bytes: int | None = None) -> np.ndarray:
     """Whole Winograd pipeline on the already-padded input, without bias.
 
     This is the dataflow the accelerator actually runs (Listing 1 of the
@@ -257,6 +258,8 @@ def winograd_forward(x_padded: np.ndarray, weight: np.ndarray, transform,
     ``out`` optionally supplies the *uncropped* ``(N, Cout, n_h*m, n_w*m)``
     output workspace (e.g. from a :class:`repro.engine.WorkspaceArena`), so
     steady-state serving loops do zero fresh large allocations here.
+    ``block_bytes`` overrides the :data:`_BLOCK_BYTES` working-set target —
+    the knob the ``tuned`` backend's autotuner turns per shape.
     """
     m, r, a = transform.m, transform.r, transform.alpha
     n, cin, hp, wp = x_padded.shape
@@ -278,9 +281,10 @@ def winograd_forward(x_padded: np.ndarray, weight: np.ndarray, transform,
                          f"got {out.shape} of {out.dtype}")
 
     # Rows of Winograd tiles per block, sized to keep the gathered tile
-    # block around _BLOCK_BYTES.
+    # block around the working-set target.
+    target = _BLOCK_BYTES if block_bytes is None else int(block_bytes)
     row_bytes = a * a * cin * n_w * x_padded.itemsize
-    rows_per_block = min(n_h, max(1, _BLOCK_BYTES // max(row_bytes, 1)))
+    rows_per_block = min(n_h, max(1, target // max(row_bytes, 1)))
 
     for nn in range(n):
         image = x_padded[nn]
@@ -329,7 +333,8 @@ def _separable_pair(t3: np.ndarray, left: np.ndarray, right: np.ndarray
 
 
 def winograd_autograd(x_padded: np.ndarray, weight: np.ndarray, transform,
-                      out_h: int, out_w: int):
+                      out_h: int, out_w: int,
+                      block_bytes: int | None = None):
     """Fused Winograd training step: blocked forward now, blocked adjoints later.
 
     Returns ``(out, backward)`` where ``backward(grad)`` yields
@@ -358,11 +363,13 @@ def winograd_autograd(x_padded: np.ndarray, weight: np.ndarray, transform,
     bt, at, g = transform.BT, transform.AT, transform.G
 
     w_r = transform_weights_tap_major(weight, transform)             # (a²,O,I)
-    out = winograd_forward(x_padded, weight, transform, out_h, out_w, w_r=w_r)
+    out = winograd_forward(x_padded, weight, transform, out_h, out_w, w_r=w_r,
+                           block_bytes=block_bytes)
 
     full_h, full_w = n_h * m, n_w * m
+    target = _BLOCK_BYTES if block_bytes is None else int(block_bytes)
     row_bytes = a * a * cin * n_w * x_padded.itemsize
-    rows_per_block = min(n_h, max(1, _BLOCK_BYTES // max(row_bytes, 1)))
+    rows_per_block = min(n_h, max(1, target // max(row_bytes, 1)))
 
     def backward(grad: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         if full_h == out_h and full_w == out_w:

@@ -663,7 +663,8 @@ def compile_model(model: Module, input_shape: tuple | None = None, *,
                   transform: WinogradTransform | str | None = "F4",
                   backend: str | KernelBackend | None = None,
                   fold_bn: bool = True, fuse_relu: bool = True,
-                  use_arena: bool = True) -> CompiledModel:
+                  use_arena: bool = True,
+                  autotune: str | None = None) -> CompiledModel:
     """Lower ``model`` into a :class:`CompiledModel` (eval-mode semantics).
 
     Parameters
@@ -687,7 +688,21 @@ def compile_model(model: Module, input_shape: tuple | None = None, *,
         Toggles for the whole-model optimisations (all on by default; turning
         them all off yields the plain per-layer ``CompiledConv`` behaviour,
         which is the baseline the serving benchmark measures against).
+    autotune:
+        ``None`` leaves kernel selection to ``backend``.  Any of
+        :data:`repro.engine.autotune.MODES` pins the model's convolutions to
+        the ``tuned`` backend (unless ``backend`` is given explicitly) and
+        controls how winners are found: ``"cached"`` warms from the on-disk
+        plan cache only (no benchmarking — safe for serving workers),
+        ``"full"`` benchmarks unresolved kernels during the warm-up pass
+        (needs ``input_shape``), ``"off"`` runs the untuned defaults.
     """
+    from ..engine import autotune as _autotune_mod
+
+    if autotune is not None:
+        autotune = _autotune_mod.check_mode(autotune)
+        if backend is None and autotune != "off":
+            backend = "tuned"
     if isinstance(transform, str):
         transform = get_transform(transform)
     ctx = _CompileCtx(transform, fold_bn, fuse_relu, backend)
@@ -701,6 +716,12 @@ def compile_model(model: Module, input_shape: tuple | None = None, *,
             model.train()
 
     compiled = CompiledModel(steps, use_arena=use_arena)
+    if autotune == "cached":
+        _autotune_mod.warm_disk()
     if input_shape is not None:
-        compiled.warmup(input_shape)
+        if autotune == "full":
+            with _autotune_mod.use_mode("full"):
+                compiled.warmup(input_shape)
+        else:
+            compiled.warmup(input_shape)
     return compiled

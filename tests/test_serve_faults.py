@@ -250,6 +250,48 @@ class TestPoolChaos:
 
 
 # --------------------------------------------------------------------------- #
+# Autotune cache under chaos: respawned workers re-warm from disk
+# --------------------------------------------------------------------------- #
+class TestTunedWorkerWarmth:
+    def test_respawned_worker_rewarms_from_disk(self, rng, tmp_path,
+                                                monkeypatch):
+        """A SIGKILLed tuned worker's replacement loads winners, never tunes.
+
+        The parent tunes the exact chunk shape the pool will shard to and
+        persists the winners; every worker — including the supervisor's
+        respawn after the scripted kill — must then answer its kernel-variant
+        decisions from the disk cache with zero benchmarks.
+        """
+        from repro.engine import autotune
+        monkeypatch.setenv(autotune.ENV_CACHE_DIR, str(tmp_path))
+        autotune.reset_state()
+        try:
+            job = _job(rng, backend="tuned")
+            x = rng.normal(size=(6, 3, 12, 12))
+            conv = job.compile()
+            with autotune.use_mode("full"):
+                conv(x[:3])                    # one 2-worker chunk's shape
+            assert autotune.stats().persisted_records >= 1
+
+            autotune.reset_state()             # forked workers start cold
+            plan = FaultPlan().kill(worker=0, step=1)
+            with _spawn_pool(job, 2, faults=plan) as pool:
+                got = pool.run(x)
+                assert pool.stats()["restarts"] >= 1
+                per_worker = pool.autotune_stats()
+                assert sorted(per_worker) == [0, 1]
+                for stats in per_worker.values():
+                    assert stats["benchmarks_run"] == 0
+                    assert stats["disk_loads"] >= 1
+                    assert stats["loaded_records"] >= 1
+                assert sum(s["disk_hits"] for s in per_worker.values()) >= 1
+            with _spawn_pool(job, 2) as clean:
+                np.testing.assert_array_equal(got, clean.run(x))
+        finally:
+            autotune.reset_state()
+
+
+# --------------------------------------------------------------------------- #
 # Graceful degradation when the pool is gone for good
 # --------------------------------------------------------------------------- #
 class TestDegradation:
