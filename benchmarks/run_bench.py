@@ -46,6 +46,15 @@ Autotuned-tier numbers (PR 7, paired round by round against ``fast``):
   compiled with ``compile_model(..., autotune="full")`` against the same
   stack pinned to the untuned ``fast`` backend.
 
+Training-layer numbers (PR 8, written to ``BENCH_train.json``):
+
+* ``dp_train_step_scaling`` — one :class:`repro.train.DataParallelTrainer`
+  gradient step (4 supervised shm workers) vs the identical single-process
+  step; must be >= 1.5x on machines with >= 4 cores (``cpu_cores`` is
+  recorded alongside the ratio).
+* ``dp_train_supervision_overhead`` — the supervised 4-worker sharded step
+  vs the same pool with supervision off; must stay <= 1.05x everywhere.
+
 ``--smoke`` runs everything with tiny repeat counts and exits 0 regardless
 of the measured ratios — the CI plumbing check, not a perf gate.
 
@@ -436,6 +445,79 @@ def serve_cases(repeats: int, warmup: int) -> dict:
     return results
 
 
+# --------------------------------------------------------------------------- #
+# Training layer (repro.train): data-parallel gradient steps (PR 8)
+# --------------------------------------------------------------------------- #
+def train_cases(repeats: int, warmup: int) -> dict:
+    """Benchmarks of data-parallel training (PR 8), paired round by round.
+
+    * ``dp_train_step_scaling`` — one sharded gradient step of
+      :class:`repro.train.DataParallelTrainer` (4 supervised shm workers,
+      forward+backward in the workers, host-side accumulation) against the
+      identical single-process step.  The >= 1.5x acceptance target applies
+      on machines with >= 4 cores; ``cpu_cores`` is recorded so the measured
+      ratio is auditable in context (a 1-core container *cannot* show
+      parallel speedup — the workers time-slice one core and the ratio
+      honestly reads the sharding overhead instead).
+    * ``dp_train_supervision_overhead`` — the same 4-worker sharded step with
+      full supervision (heartbeats, sentinel watching, retry bookkeeping)
+      against the pool with supervision off (``heartbeat_interval=None``).
+      Must stay <= 1.05x everywhere: fault tolerance may not tax training.
+    """
+    from repro.datasets.synthetic import make_shapes_dataset
+    from repro.models.small import TinyConvNet
+    from repro.nn.data import ArrayDataset, DataLoader
+    from repro.nn.optim import SGD
+    from repro.train import DataParallelTrainer, Trainer
+    from repro.utils import seed_everything
+
+    num_workers = 4
+    raw = make_shapes_dataset(num_samples=64, num_classes=10, size=32, seed=0)
+    images, labels = raw.images[:16], raw.labels[:16]
+
+    def build(workers: int, **kwargs):
+        seed_everything(0)
+        model = TinyConvNet(num_classes=10, seed=0)
+        loader = DataLoader(ArrayDataset(raw.images, raw.labels),
+                            batch_size=16, shuffle=True, seed=0)
+        optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+        if workers:
+            return DataParallelTrainer(model, optimizer, loader,
+                                       num_workers=workers, **kwargs)
+        return Trainer(model, optimizer, loader, **kwargs)
+
+    results = {}
+    single = build(0)
+    supervised = build(num_workers)
+    bare = build(num_workers, heartbeat_interval=None)
+    if supervised.degraded or bare.degraded:  # pragma: no cover - sandboxes
+        supervised.close()
+        bare.close()
+        results["dp_train"] = {"skipped": "worker pool unavailable"}
+        print("dp train benchmark skipped: worker pool unavailable")
+        return results
+    try:
+        case = _paired_case(lambda: supervised._compute_step(images, labels),
+                            lambda: single._compute_step(images, labels),
+                            repeats, warmup, "dp4_s", "single_s",
+                            "speedup_dp4_vs_single")
+        case["cpu_cores"] = int(os.cpu_count() or 1)
+        case["num_workers"] = num_workers
+        results["dp_train_step_scaling"] = case
+        _print_case("dp_train_step_scaling", case)
+
+        case = _paired_case(lambda: bare._compute_step(images, labels),
+                            lambda: supervised._compute_step(images, labels),
+                            repeats, warmup, "bare_s", "supervised_s",
+                            "overhead_supervised_vs_bare")
+        results["dp_train_supervision_overhead"] = case
+        _print_case("dp_train_supervision_overhead", case)
+    finally:
+        supervised.close()
+        bare.close()
+    return results
+
+
 def run_benchmarks(repeats: int, warmup: int) -> dict:
     # The generic per-backend sweep covers the untuned tiers only: switching
     # the process-wide backend every round fires the plan-cache eviction
@@ -528,6 +610,9 @@ def main(argv=None) -> int:
     parser.add_argument("--serve-output",
                         default=os.path.join(os.path.dirname(_HERE),
                                              "BENCH_serve.json"))
+    parser.add_argument("--train-output",
+                        default=os.path.join(os.path.dirname(_HERE),
+                                             "BENCH_train.json"))
     parser.add_argument("--repeats", type=int, default=15)
     parser.add_argument("--warmup", type=int, default=2)
     parser.add_argument("--smoke", action="store_true",
@@ -547,7 +632,7 @@ def main(argv=None) -> int:
 
     baselines = {}
     if args.check:
-        for path in (args.output, args.serve_output):
+        for path in (args.output, args.serve_output, args.train_output):
             baseline = _load_baseline(path)
             if baseline is None:
                 print(f"--check: no readable baseline at {path}")
@@ -591,11 +676,21 @@ def main(argv=None) -> int:
             fh.write("\n")
         print(f"wrote {args.serve_output}")
 
+    train_results = train_cases(args.repeats, args.warmup)
+    if not args.check:
+        with open(args.train_output, "w") as fh:
+            json.dump({"meta": meta_now(), "results": train_results}, fh,
+                      indent=2)
+            fh.write("\n")
+        print(f"wrote {args.train_output}")
+
     if args.check:
         problems = (check_regressions(baselines[args.output], results,
                                       "kernels")
                     + check_regressions(baselines[args.serve_output],
-                                        serve_results, "serve"))
+                                        serve_results, "serve")
+                    + check_regressions(baselines[args.train_output],
+                                        train_results, "train"))
         for problem in problems:
             print(f"REGRESSION {problem}")
         if not problems:
@@ -625,6 +720,15 @@ def main(argv=None) -> int:
                                           for r in tuned_ratios.values())
     tuned_fwd = max(tuned_ratios.get("tuned_f2_forward", 0.0),
                     tuned_ratios.get("tuned_f4_forward", 0.0))
+    dp_case = train_results.get("dp_train_step_scaling", {})
+    dp_speedup = dp_case.get("speedup_dp4_vs_single")
+    cores = int(os.cpu_count() or 1)
+    # The parallel-scaling target only binds where parallelism is physically
+    # possible; a skipped or sub-4-core measurement must still be *present*.
+    dp_ok = dp_speedup is not None and (cores < 4 or dp_speedup >= 1.5)
+    train_overhead = train_results.get("dp_train_supervision_overhead",
+                                       {}).get("overhead_supervised_vs_bare")
+    train_overhead_ok = train_overhead is not None and train_overhead <= 1.05
     print(f"headline winograd_f4_forward speedup: {speedup:.2f}x (target >= 2x)")
     print(f"headline planned_f4_forward speedup:  {planned:.2f}x (target >= 1.3x)")
     print(f"headline served_model_f4 speedup:     {served:.2f}x (target >= 1.2x)")
@@ -635,11 +739,18 @@ def main(argv=None) -> int:
     print("tuned vs fast:                        "
           + "  ".join(f"{name}={r:.2f}x" for name, r in tuned_ratios.items())
           + "  (targets: all >= 1.0x, best forward >= 1.15x)")
+    if dp_speedup is not None:
+        print(f"dp training step speedup (4 workers): {dp_speedup:.2f}x "
+              f"on {cores} core(s) (target >= 1.5x when cores >= 4)")
+    if train_overhead is not None:
+        print(f"dp training supervision overhead:     {train_overhead:.3f}x "
+              "(target <= 1.05x)")
     if args.smoke:
         return 0
     return 0 if (speedup >= 2.0 and planned >= 1.3
                  and served >= 1.2 and pool_ok and overhead_ok
-                 and tuned_ok and tuned_fwd >= 1.15) else 1
+                 and tuned_ok and tuned_fwd >= 1.15
+                 and dp_ok and train_overhead_ok) else 1
 
 
 if __name__ == "__main__":

@@ -12,27 +12,101 @@ This walks through the paper's core idea on a single layer:
 4. the same computation runs with integer-only arithmetic (what the
    accelerator executes);
 5. the accelerator model predicts the layer-level speed-up and energy gain
-   (planning each distinct layer shape once, like the engine does).
+   (planning each distinct layer shape once, like the engine does);
+6. training on the same stack is fault-tolerant: crash-safe checkpoints
+   resume bit-exactly, and gradient steps shard across the supervised
+   worker pool with inline degradation when the pool is lost.
 
 Run with:  python examples/quickstart.py
 """
 
+import tempfile
+
 import numpy as np
 
 from repro.accelerator import AcceleratorSystem
+from repro.datasets.synthetic import make_shapes_dataset
 from repro.engine import (CompiledConv, autotune, lower_winograd,
                           plan_cache_stats)
 from repro.models.layer_specs import Conv2DSpec
+from repro.models.small import MicroNet
 from repro.nn import Tensor
+from repro.nn.data import ArrayDataset, DataLoader
 from repro.nn.functional import conv2d_numpy
+from repro.nn.optim import SGD
 from repro.quant import (QuantWinogradConv2d, calibrate_tapwise_scales,
                          integer_winograd_conv2d)
+from repro.train import CheckpointStore, DataParallelTrainer, Trainer
 from repro.utils import print_table, seed_everything
 from repro.winograd import bit_growth, macs_reduction, winograd_conv2d, winograd_f4
 
 
 def relative_error(a: np.ndarray, b: np.ndarray) -> float:
     return float(np.abs(a - b).mean() / np.abs(b).mean())
+
+
+def weights_equal(a: dict, b: dict) -> bool:
+    return set(a) == set(b) and all(np.array_equal(a[k], b[k]) for k in a)
+
+
+def fault_tolerant_training() -> None:
+    """[6] crash-safe checkpoints, deterministic resume, sharded steps."""
+    raw = make_shapes_dataset(num_samples=24, num_classes=4, size=8, seed=0)
+
+    def build(store=None):
+        seed_everything(0)
+        loader = DataLoader(ArrayDataset(raw.images, raw.labels),
+                            batch_size=12, shuffle=True, seed=0)
+        model = MicroNet(num_classes=4, seed=0)
+        return model, Trainer(model, SGD(model.parameters(), lr=0.05,
+                                         momentum=0.9), loader, store=store)
+
+    # Reference: three epochs, never interrupted.
+    ref_model, reference = build()
+    reference.fit(epochs=3)
+
+    # The same run "crashing" after one epoch.  Every step commits an atomic,
+    # checksummed checkpoint (model, optimizer slots, schedulers, and every
+    # RNG stream), so a fresh trainer — stand-in for a fresh process after
+    # kill -9 — resumes from the committed boundary and finishes bit-exactly.
+    with tempfile.TemporaryDirectory() as ckpt_dir:
+        _, interrupted = build(CheckpointStore(ckpt_dir))
+        interrupted.fit(epochs=1)                      # "crash" here
+        resumed_model, resumed = build(CheckpointStore(ckpt_dir))
+        step = resumed.resume()
+        resumed.fit(epochs=3)
+    print(f"\n[6] crash-safe training: resumed at step {step}, final weights "
+          f"bit-equal to the\n    uninterrupted run: "
+          f"{weights_equal(ref_model.state_dict(), resumed_model.state_dict())}")
+
+    # Data-parallel steps: each step's gradients shard across supervised
+    # shared-memory pool workers as pure-function frames with boundaries
+    # fixed by the worker count — worker death, stalls and corrupt replies
+    # are retried bit-exactly, and losing the whole pool mid-run degrades to
+    # inline execution of the same frames with identical results.  Here the
+    # pool is dropped up front; tests/test_train_faults.py runs the real
+    # SIGKILL/stall/corruption drills.
+    def build_dp(**kwargs):
+        seed_everything(0)
+        loader = DataLoader(ArrayDataset(raw.images, raw.labels),
+                            batch_size=12, shuffle=True, seed=0)
+        model = MicroNet(num_classes=4, seed=0)
+        return model, DataParallelTrainer(
+            model, SGD(model.parameters(), lr=0.05, momentum=0.9), loader,
+            num_workers=2, **kwargs)
+
+    pooled_model, pooled = build_dp()
+    with pooled:
+        pooled.fit(epochs=3)
+        stats = pooled.pool_stats()
+        mode = ("inline (pool unavailable)" if pooled.degraded
+                else f"2 workers, {stats['deaths']} deaths, "
+                     f"{stats['retried_jobs']} retries")
+    inline_model, inline = build_dp()
+    inline.close()                       # total pool loss, up front
+    inline.fit(epochs=3)
+    print(f"    data-parallel trainer ({mode}): weights bit-equal to the "
+          f"pool-less run: {weights_equal(pooled_model.state_dict(), inline_model.state_dict())}")
 
 
 def main() -> None:
@@ -114,11 +188,16 @@ def main() -> None:
     print(f"    ({system.plan_cache_size} layer plans cached; repeated "
           f"run_layer calls on the same shape reuse them)")
 
+    # --- 6. fault-tolerant training ------------------------------------------
+    fault_tolerant_training()
+
     print("\nNext: whole-model serving — compilation "
           "(compile_model(..., autotune=\"cached\") reuses\nthe persisted "
           "kernel winners), micro-batching and the shared-memory worker pool "
           "live\nin repro.serve; see examples/serve_demo.py for the "
-          "walkthrough.")
+          "walkthrough. The training-side\nfault drills (worker SIGKILL, "
+          "trainer kill -9 + resume, total pool loss) live in\n"
+          "tests/test_train_faults.py.")
 
 
 if __name__ == "__main__":

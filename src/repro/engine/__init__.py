@@ -37,7 +37,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import autotune
-from .arena import ArenaPool, WorkspaceArena
+from .arena import ArenaPool, WorkspaceArena, current_arena, use_arena
 from .autotune import TuningRecord
 from .executor import CompiledConv, Executor, execute, execute_tensor
 from .plan import (PLAN_CACHE_MAXSIZE, LayerPlan, PlanStats, clear_plan_cache,
@@ -48,6 +48,8 @@ from .runner import BatchRunner, ConvJob
 __all__ = [
     "ArenaPool",
     "WorkspaceArena",
+    "use_arena",
+    "current_arena",
     "autotune",
     "TuningRecord",
     "LayerPlan",

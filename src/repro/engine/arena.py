@@ -33,7 +33,33 @@ import threading
 
 import numpy as np
 
-__all__ = ["WorkspaceArena", "ArenaPool"]
+__all__ = ["WorkspaceArena", "ArenaPool", "use_arena", "current_arena"]
+
+_ACTIVE = threading.local()
+
+
+@contextlib.contextmanager
+def use_arena(arena: "WorkspaceArena"):
+    """Install ``arena`` as this thread's ambient workspace arena.
+
+    The executor cannot be handed an arena explicitly on the autograd path —
+    tensors call it from deep inside ``Module.forward`` — so the training
+    loop installs one here and :func:`current_arena` is consulted at the
+    point workspace buffers are materialised.  Scoped and re-entrant: the
+    previous arena (usually ``None``) is restored on exit, including when
+    the step aborts with an exception.
+    """
+    previous = getattr(_ACTIVE, "arena", None)
+    _ACTIVE.arena = arena
+    try:
+        yield arena
+    finally:
+        _ACTIVE.arena = previous
+
+
+def current_arena() -> "WorkspaceArena | None":
+    """The arena installed by the innermost :func:`use_arena`, if any."""
+    return getattr(_ACTIVE, "arena", None)
 
 
 class WorkspaceArena:

@@ -36,6 +36,7 @@ import numpy as np
 from ..kernels import KernelBackend, get_backend
 from ..nn.tensor import Tensor, as_tensor, is_grad_enabled
 from ..winograd.transforms import WinogradTransform, get_transform
+from .arena import current_arena
 from .plan import LayerPlan, lower_conv2d, lower_winograd
 
 __all__ = ["Executor", "CompiledConv", "execute", "execute_tensor"]
@@ -48,6 +49,43 @@ def _pad_input(plan: LayerPlan, x: np.ndarray) -> np.ndarray:
     if plan.pad_width is None or not any(p for pair in plan.pad_width for p in pair):
         return x
     return np.pad(x, plan.pad_width)
+
+
+def _pad_input_workspace(plan: LayerPlan, x: np.ndarray, slot) -> np.ndarray:
+    """Padded input for the autograd path, reusing an ambient arena buffer.
+
+    Training loops install an arena with :func:`repro.engine.use_arena`; the
+    padded copy — the one large per-step allocation of the fused autograd
+    node — then lives in a ``(slot, "padded")`` buffer that is reused every
+    step.  Only the halo is zeroed (the interior is overwritten), matching
+    the serving path.  Without an ambient arena this is exactly
+    :func:`_pad_input`.  Works for both plan kinds: im2col plans carry no
+    ``pad_width`` spec, so the symmetric one is derived from ``padding``.
+    """
+    pad_width = plan.pad_width
+    if pad_width is None and plan.padding:
+        p = plan.padding
+        pad_width = ((0, 0), (0, 0), (p, p), (p, p))
+    if pad_width is None or not any(p for pair in pad_width for p in pair):
+        return x
+    arena = current_arena()
+    if arena is None:
+        return np.pad(x, pad_width)
+    (_, _), (_, _), (pt, pb), (pl, pr) = pad_width
+    h, w = plan.in_shape[2], plan.in_shape[3]
+    padded = arena.get(plan, "padded",
+                       shape=(x.shape[0], x.shape[1], pt + h + pb, pl + w + pr),
+                       dtype=x.dtype, slot=slot)
+    if pt:
+        padded[:, :, :pt].fill(0)
+    if pb:
+        padded[:, :, pt + h:].fill(0)
+    if pl:
+        padded[:, :, pt:pt + h, :pl].fill(0)
+    if pr:
+        padded[:, :, pt:pt + h, pl + w:].fill(0)
+    padded[:, :, pt:pt + h, pl:pl + w] = x
+    return padded
 
 
 def _winograd_forward_data(plan: LayerPlan, padded: np.ndarray,
@@ -132,7 +170,7 @@ def _winograd_tensor(plan: LayerPlan, x: Tensor, weight: Tensor,
     be, t = plan.backend, plan.transform
     parents = (x, weight) if bias is None else (x, weight, bias)
     needs_grad = is_grad_enabled() and any(p.requires_grad for p in parents)
-    padded = _pad_input(plan, x.data)
+    padded = _pad_input_workspace(plan, x.data, slot=weight)
     h, w = plan.in_shape[2], plan.in_shape[3]
     p = plan.padding
 
@@ -196,7 +234,14 @@ def _im2col_tensor(plan: LayerPlan, x: Tensor, weight: Tensor,
     be = plan.backend
     cout = plan.weight_shape[0]
     w2d = weight.data.reshape(cout, -1)
-    out_data, cols = _im2col_forward_data(plan, x.data, w2d)
+    # Pre-pad through the ambient arena (when one is installed) so the
+    # backend sees an already-padded input; the column values — and hence
+    # the forward/backward results — are bit-identical either way.
+    padded = _pad_input_workspace(plan, x.data, slot=weight)
+    kh, kw = plan.weight_shape[2], plan.weight_shape[3]
+    cols = be.im2col(padded, (kh, kw), plan.stride,
+                     plan.padding if padded is x.data else 0)
+    out_data = be.conv2d_gemm(w2d, cols).reshape(plan.out_shape)
     if bias is not None:
         out_data = out_data + bias.data.reshape(1, cout, 1, 1)
 

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .executor import CompiledConv
+from .plan import lower_conv2d, lower_winograd
 
 __all__ = ["ConvJob", "BatchRunner"]
 
@@ -48,6 +49,18 @@ class ConvJob:
     ``transform`` and ``backend`` are *names* (resolved in the worker against
     its own registries) so that the per-process singletons — transform
     matrices, kernel backends, plan cache — are shared by key, not by pickle.
+
+    ConvJob is the reference implementation of the **pool-job protocol**
+    :class:`~repro.serve.ShmWorkerPool` drives: any picklable object with
+
+    * ``compile() -> callable`` — build the per-worker executable once (the
+      callable maps one input array to one output array);
+    * ``out_shape(in_shape) -> tuple`` — the reply shape for an input shape,
+      so the parent can size output segments without a round trip;
+    * ``out_dtype(in_dtype) -> np.dtype`` — likewise for the reply dtype;
+
+    can ride the shared-memory transport.  ``repro.train`` ships gradient
+    jobs through the same pool this way.
     """
 
     weight: np.ndarray
@@ -61,6 +74,19 @@ class ConvJob:
         return CompiledConv(self.weight, self.bias, stride=self.stride,
                             padding=self.padding, transform=self.transform,
                             backend=self.backend)
+
+    def out_shape(self, in_shape: tuple) -> tuple:
+        """Reply shape for ``in_shape``, from the (cached) layer plan."""
+        if self.transform is not None:
+            plan = lower_winograd(in_shape, self.weight.shape, self.transform,
+                                  self.padding, backend=self.backend)
+        else:
+            plan = lower_conv2d(in_shape, self.weight.shape, self.stride,
+                                self.padding, backend=self.backend)
+        return plan.out_shape
+
+    def out_dtype(self, in_dtype) -> np.dtype:
+        return np.result_type(in_dtype, self.weight.dtype)
 
 
 # Per-worker bound layer, installed once by the pool initializer.

@@ -18,13 +18,12 @@ import numpy as np
 
 from .. import engine
 from ..datasets.synthetic import make_shapes_dataset
-from ..nn import functional as F
 from ..nn.data import ArrayDataset, DataLoader, train_val_split
 from ..nn.module import Module
 from ..nn.optim import SGD
-from ..nn.tensor import Tensor
 from ..quant.qat import (QatConfig, QatTrainer, calibrate_model, convert_model,
                          enable_learned_scales, evaluate, freeze_calibration)
+from ..train import CheckpointStore, DataParallelTrainer, Trainer
 from ..utils.seeding import seed_everything
 
 __all__ = ["StudySettings", "StudyRow", "QuantizationStudy", "train_float_baseline"]
@@ -46,6 +45,9 @@ class StudySettings:
     scale_lr: float = 0.01
     noise_level: float = 1.5
     seed: int = 0
+    num_workers: int = 0              # gradient-shard workers for the baseline
+    checkpoint_dir: str | None = None  # crash-safe baseline checkpoints
+    checkpoint_every: int = 1
 
     @staticmethod
     def fast() -> "StudySettings":
@@ -69,19 +71,31 @@ class StudyRow:
 
 def train_float_baseline(model: Module, train_loader: DataLoader,
                          val_loader: DataLoader, epochs: int, lr: float,
-                         max_batches: int | None = None) -> float:
-    """Train the FP32 baseline with SGD + momentum; returns final top-1."""
+                         max_batches: int | None = None, *,
+                         num_workers: int = 0,
+                         store: CheckpointStore | None = None,
+                         checkpoint_every: int = 1,
+                         resume: bool = False) -> float:
+    """Train the FP32 baseline with SGD + momentum; returns final top-1.
+
+    Runs on :class:`repro.train.Trainer` (crash-safe when ``store`` is set;
+    pass ``resume=True`` to pick up from the newest committed checkpoint) or
+    :class:`repro.train.DataParallelTrainer` when ``num_workers > 0``.  The
+    inline batch/gradient stream is bit-identical to the pre-trainer loop,
+    so accuracy results are unchanged.
+    """
     optimizer = SGD(model.parameters(), lr=lr, momentum=0.9, weight_decay=1e-4)
-    for _epoch in range(epochs):
-        model.train()
-        for batch_idx, (images, labels) in enumerate(train_loader):
-            logits = model(Tensor(images))
-            loss = F.cross_entropy(logits, labels)
-            model.zero_grad()
-            loss.backward()
-            optimizer.step()
-            if max_batches is not None and batch_idx + 1 >= max_batches:
-                break
+    if num_workers > 0:
+        trainer = DataParallelTrainer(model, optimizer, train_loader,
+                                      num_workers=num_workers, store=store,
+                                      checkpoint_every=checkpoint_every)
+    else:
+        trainer = Trainer(model, optimizer, train_loader, store=store,
+                          checkpoint_every=checkpoint_every)
+    with trainer:
+        if resume and store is not None:
+            trainer.resume()
+        trainer.fit(epochs=epochs, max_batches=max_batches)
     return evaluate(model, val_loader, max_batches=max_batches)
 
 
@@ -136,10 +150,15 @@ class QuantizationStudy:
             lowered = engine.warm_plans(model, example_shape)
             self._log(f"engine: pre-lowered {lowered} layer plan(s) "
                       f"for input {example_shape}")
+            store = (CheckpointStore(self.settings.checkpoint_dir)
+                     if self.settings.checkpoint_dir else None)
             train_float_baseline(model, self.train_loader, self.val_loader,
                                  epochs=self.settings.baseline_epochs,
                                  lr=self.settings.lr,
-                                 max_batches=self.settings.max_batches)
+                                 max_batches=self.settings.max_batches,
+                                 num_workers=self.settings.num_workers,
+                                 store=store,
+                                 checkpoint_every=self.settings.checkpoint_every)
             top1 = evaluate(model, self.test_loader,
                             max_batches=self.settings.max_batches)
             self._baseline_model = model

@@ -117,24 +117,32 @@ class Module:
     def load_state_dict(self, state: dict[str, np.ndarray], strict: bool = True) -> None:
         params = dict(self.named_parameters())
         buffers = {name: module for name, module in self._iter_buffer_owners()}
-        missing: list[str] = []
+        unexpected: list[str] = []
+        loaded: set[str] = set()
         for name, value in state.items():
             if name.startswith("buffer:"):
                 buf_name = name[len("buffer:"):]
                 if buf_name in buffers:
                     owner, local = buffers[buf_name]
                     owner.set_buffer(local, value)
-                elif strict:
-                    missing.append(name)
+                    loaded.add(name)
+                else:
+                    unexpected.append(name)
             elif name in params:
                 if params[name].shape != np.asarray(value).shape:
                     raise ValueError(
                         f"shape mismatch for {name}: {params[name].shape} vs {np.asarray(value).shape}")
                 params[name].data = np.asarray(value, dtype=params[name].data.dtype).copy()
-            elif strict:
-                missing.append(name)
-        if strict and missing:
-            raise KeyError(f"unexpected keys in state_dict: {missing}")
+                loaded.add(name)
+            else:
+                unexpected.append(name)
+        if strict:
+            expected = set(params) | {f"buffer:{name}" for name in buffers}
+            missing = sorted(expected - loaded)
+            if missing or unexpected:
+                raise KeyError(
+                    f"state_dict mismatch: missing keys {missing}, "
+                    f"unexpected keys {unexpected}")
 
     def _iter_buffer_owners(self):
         for prefix, module in self.named_modules():

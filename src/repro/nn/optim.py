@@ -49,6 +49,63 @@ class Optimizer:
     def _param_state(self, param: Parameter) -> dict:
         return self.state.setdefault(id(param), {})
 
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Pickle-able snapshot of hyperparameters and per-parameter slots.
+
+        Parameters are identified by their position across ``param_groups``
+        (the same convention torch uses), so a state dict written by one
+        process can be loaded by another whose parameters live at different
+        addresses — a requirement for checkpoint/resume.
+        """
+        index: dict[int, int] = {}
+        packed_groups: list[dict] = []
+        for group in self.param_groups:
+            entry = {key: value for key, value in group.items() if key != "params"}
+            positions = []
+            for param in group["params"]:
+                if id(param) not in index:
+                    index[id(param)] = len(index)
+                positions.append(index[id(param)])
+            entry["params"] = positions
+            packed_groups.append(entry)
+        state: dict[int, dict] = {}
+        for group in self.param_groups:
+            for param in group["params"]:
+                slots = self.state.get(id(param))
+                if slots:
+                    state[index[id(param)]] = {
+                        key: value.copy() if isinstance(value, np.ndarray) else value
+                        for key, value in slots.items()}
+        return {"state": state, "param_groups": packed_groups}
+
+    def load_state_dict(self, state_dict: dict) -> None:
+        """Restore hyperparameters and slots saved by :meth:`state_dict`."""
+        saved_groups = state_dict["param_groups"]
+        if len(saved_groups) != len(self.param_groups):
+            raise ValueError(
+                f"optimizer has {len(self.param_groups)} param groups, "
+                f"state dict has {len(saved_groups)}")
+        params_by_position: dict[int, Parameter] = {}
+        for group, saved in zip(self.param_groups, saved_groups):
+            if len(group["params"]) != len(saved["params"]):
+                raise ValueError(
+                    f"param group size mismatch: {len(group['params'])} vs "
+                    f"{len(saved['params'])}")
+            for param, position in zip(group["params"], saved["params"]):
+                params_by_position[int(position)] = param
+            for key, value in saved.items():
+                if key != "params":
+                    group[key] = value
+        self.state = {}
+        for position, slots in state_dict["state"].items():
+            param = params_by_position[int(position)]
+            self.state[id(param)] = {
+                key: value.copy() if isinstance(value, np.ndarray) else value
+                for key, value in slots.items()}
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -133,12 +190,27 @@ class StepLR:
 
     def step(self) -> None:
         self.epoch += 1
+        self._apply()
+
+    def _apply(self) -> None:
         factor = self.gamma ** (self.epoch // self.step_size)
         for group, base in zip(self.optimizer.param_groups, self._base_lrs):
             group["lr"] = base * factor
 
     def get_last_lr(self) -> list[float]:
         return [group["lr"] for group in self.optimizer.param_groups]
+
+    def state_dict(self) -> dict:
+        return {"epoch": self.epoch, "base_lrs": list(self._base_lrs),
+                "step_size": self.step_size, "gamma": self.gamma}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.epoch = int(state["epoch"])
+        self._base_lrs = list(state["base_lrs"])
+        self.step_size = int(state.get("step_size", self.step_size))
+        self.gamma = float(state.get("gamma", self.gamma))
+        if self.epoch:
+            self._apply()
 
 
 class CosineAnnealingLR:
@@ -153,6 +225,9 @@ class CosineAnnealingLR:
 
     def step(self) -> None:
         self.epoch += 1
+        self._apply()
+
+    def _apply(self) -> None:
         t = min(self.epoch, self.t_max)
         for group, base in zip(self.optimizer.param_groups, self._base_lrs):
             group["lr"] = self.eta_min + 0.5 * (base - self.eta_min) * (
@@ -160,3 +235,15 @@ class CosineAnnealingLR:
 
     def get_last_lr(self) -> list[float]:
         return [group["lr"] for group in self.optimizer.param_groups]
+
+    def state_dict(self) -> dict:
+        return {"epoch": self.epoch, "base_lrs": list(self._base_lrs),
+                "t_max": self.t_max, "eta_min": self.eta_min}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.epoch = int(state["epoch"])
+        self._base_lrs = list(state["base_lrs"])
+        self.t_max = int(state.get("t_max", self.t_max))
+        self.eta_min = float(state.get("eta_min", self.eta_min))
+        if self.epoch:
+            self._apply()

@@ -72,10 +72,22 @@ class FaultPlan:
     """
 
     faults: list[Fault] = field(default_factory=list)
+    # Training-drive fault: SIGKILL the *training process itself* right after
+    # it commits the checkpoint for this (1-based) optimizer step.  Gives the
+    # resume chaos test a deterministic "kill -9 at a step boundary" without
+    # racing a timer against the training loop.  Consumed by
+    # ``repro.train.Trainer``, ignored by the serving pool.
+    trainer_kill_step: int | None = None
 
     # -- construction ---------------------------------------------------- #
     def add(self, fault: Fault) -> "FaultPlan":
         self.faults.append(fault)
+        return self
+
+    def kill_trainer(self, step: int) -> "FaultPlan":
+        if step < 1:
+            raise ValueError(f"trainer kill step is 1-based; got {step}")
+        self.trainer_kill_step = step
         return self
 
     def kill(self, worker: int, step: int) -> "FaultPlan":

@@ -68,7 +68,6 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-from .. import engine
 from .errors import (PoolUnavailable, RequestTimeout, ServingError,
                      WorkerCrashed, WorkerJobError, deadline_clock)
 
@@ -653,20 +652,21 @@ class ShmWorkerPool:
 
     # ------------------------------------------------------------------ #
     def _out_shape(self, in_shape: tuple) -> tuple:
-        """Output shape for one input chunk, from the (cached) layer plan."""
-        if self.job.transform is not None:
-            plan = engine.lower_winograd(in_shape, self.job.weight.shape,
-                                         self.job.transform, self.job.padding,
-                                         backend=self.job.backend)
-        else:
-            plan = engine.lower_conv2d(in_shape, self.job.weight.shape,
-                                       self.job.stride, self.job.padding,
-                                       backend=self.job.backend)
-        return plan.out_shape
+        """Reply shape for one input chunk, from the job's own protocol.
+
+        Jobs describe their replies (``out_shape``/``out_dtype``, see
+        :class:`~repro.engine.ConvJob`) so the pool can size output segments
+        for *any* job kind — convolution chunks and gradient shards alike —
+        without a worker round trip.
+        """
+        return tuple(self.job.out_shape(tuple(in_shape)))
+
+    def _out_dtype(self, in_dtype) -> np.dtype:
+        return np.dtype(self.job.out_dtype(np.dtype(in_dtype)))
 
     def _out_nbytes(self, chunk: np.ndarray) -> int:
         shape = self._out_shape(chunk.shape)
-        dtype = np.result_type(chunk.dtype, self.job.weight.dtype)
+        dtype = self._out_dtype(chunk.dtype)
         return int(np.prod(shape)) * dtype.itemsize
 
     # ------------------------------------------------------------------ #
@@ -850,8 +850,7 @@ class ShmWorkerPool:
         if n == 0:
             # Nothing to shard: empty result of the right shape, no workers.
             shape = self._out_shape(x.shape)
-            return np.empty(shape,
-                            dtype=np.result_type(x.dtype, self.job.weight.dtype))
+            return np.empty(shape, dtype=self._out_dtype(x.dtype))
         self._heal()
         live = self._live()
         if not live:
@@ -859,8 +858,7 @@ class ShmWorkerPool:
         chunk = chunk_size or -(-n // self.num_workers)
         starts = list(range(0, n, chunk))
         out_shape = self._out_shape(x.shape)
-        out_dtype = np.result_type(x.dtype, self.job.weight.dtype)
-        result = np.empty(out_shape, dtype=out_dtype)
+        result = np.empty(out_shape, dtype=self._out_dtype(x.dtype))
 
         def make_sink(row0: int, rows: int):
             def sink(arr: np.ndarray) -> None:

@@ -1,0 +1,145 @@
+"""Atomic, versioned, corruption-tolerant training checkpoints.
+
+Crash-safety discipline mirrors the PR 7 on-disk plan cache: a checkpoint is
+*committed* by ``os.replace`` of a fully-written temporary file, so a reader
+never observes a half-written checkpoint no matter where the writer was
+killed; and a file that fails any validation step — magic, version, length,
+payload checksum, unpickling — loads as a **clean miss** (``None``) rather
+than an error, so a torn or truncated file left by a crash (or a stale file
+from an older format) silently falls back to the previous good checkpoint.
+
+File format (little-endian)::
+
+    4 bytes   magic  b"RPCK"
+    u32       format version
+    u32       crc32 of the payload
+    u64       payload length in bytes
+    payload   pickled dict
+
+:meth:`CheckpointStore.latest` scans checkpoints newest-step-first and
+returns the first one that validates, which is exactly the "resume from the
+last *committed* step boundary" semantic ``Trainer.resume`` needs.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+import struct
+import zlib
+from pathlib import Path
+
+__all__ = ["CheckpointStore"]
+
+_MAGIC = b"RPCK"
+_VERSION = 1
+_HEADER = struct.Struct("<4sIIQ")
+_NAME_RE = re.compile(r"^ckpt-(\d+)\.ckpt$")
+
+
+class CheckpointStore:
+    """A directory of atomic, self-validating training checkpoints.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoints live; created on first use.
+    keep_last:
+        When set, :meth:`save` prunes all but the newest ``keep_last``
+        checkpoints after committing a new one.
+    """
+
+    def __init__(self, directory, keep_last: int | None = None):
+        self.directory = Path(directory)
+        if keep_last is not None and keep_last < 1:
+            raise ValueError("keep_last must be >= 1 (or None)")
+        self.keep_last = keep_last
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    def path_for(self, step: int) -> Path:
+        return self.directory / f"ckpt-{int(step):012d}.ckpt"
+
+    def steps(self) -> list[int]:
+        """All checkpoint step numbers present on disk, ascending.
+
+        Presence only — a listed step may still fail validation on load.
+        """
+        out = []
+        for entry in self.directory.iterdir():
+            match = _NAME_RE.match(entry.name)
+            if match:
+                out.append(int(match.group(1)))
+        return sorted(out)
+
+    # ------------------------------------------------------------------ #
+    def save(self, step: int, payload: dict) -> Path:
+        """Atomically commit ``payload`` as the checkpoint for ``step``.
+
+        The temporary file lives in the same directory so ``os.replace`` is
+        a same-filesystem rename (atomic on POSIX); it is fsynced before the
+        rename so a crash immediately after commit cannot leave a hole where
+        the data should be.
+        """
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        header = _HEADER.pack(_MAGIC, _VERSION, zlib.crc32(blob), len(blob))
+        final = self.path_for(step)
+        tmp = final.with_name(f".{final.name}.tmp-{os.getpid()}")
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(header)
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, final)
+        finally:
+            if tmp.exists():  # commit failed part-way: leave no debris
+                tmp.unlink()
+        if self.keep_last is not None:
+            self._prune()
+        return final
+
+    def _prune(self) -> None:
+        for step in self.steps()[:-self.keep_last]:
+            try:
+                self.path_for(step).unlink()
+            except FileNotFoundError:  # pragma: no cover - racing pruner
+                pass
+
+    # ------------------------------------------------------------------ #
+    def load(self, step: int) -> dict | None:
+        """The payload committed for ``step``, or ``None`` as a clean miss.
+
+        Missing, truncated, corrupt, and wrong-version files all miss: a
+        checkpoint either validates end to end or it does not exist as far
+        as the caller is concerned.
+        """
+        return self._read(self.path_for(step))
+
+    def latest(self) -> tuple[int, dict] | None:
+        """``(step, payload)`` of the newest checkpoint that validates."""
+        for step in reversed(self.steps()):
+            payload = self.load(step)
+            if payload is not None:
+                return step, payload
+        return None
+
+    @staticmethod
+    def _read(path: Path) -> dict | None:
+        try:
+            with open(path, "rb") as fh:
+                header = fh.read(_HEADER.size)
+                if len(header) != _HEADER.size:
+                    return None
+                magic, version, crc, length = _HEADER.unpack(header)
+                if magic != _MAGIC or version != _VERSION:
+                    return None
+                blob = fh.read(length + 1)
+            if len(blob) != length or zlib.crc32(blob) != crc:
+                return None
+            payload = pickle.loads(blob)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, struct.error, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None

@@ -1,6 +1,7 @@
 """Shared utilities: deterministic seeding and table formatting."""
 
-from .seeding import seed_everything
+from .seeding import rng_state, seed_everything, set_rng_state
 from .tables import format_float, format_table, print_table
 
-__all__ = ["seed_everything", "format_table", "format_float", "print_table"]
+__all__ = ["seed_everything", "rng_state", "set_rng_state",
+           "format_table", "format_float", "print_table"]

@@ -8,7 +8,7 @@ import numpy as np
 
 from ..nn import init as nn_init
 
-__all__ = ["seed_everything"]
+__all__ = ["seed_everything", "rng_state", "set_rng_state"]
 
 
 def seed_everything(seed: int = 0) -> np.random.Generator:
@@ -17,6 +17,29 @@ def seed_everything(seed: int = 0) -> np.random.Generator:
     Returns a fresh generator for callers that want their own stream.
     """
     random.seed(seed)
-    np.random.seed(seed % (2 ** 32 - 1))
+    # numpy's legacy seed accepts [0, 2**32): reduce mod 2**32, not 2**32 - 1
+    # (the latter wraps the valid seed 2**32 - 1 to 0).
+    np.random.seed(seed % (2 ** 32))
     nn_init.set_seed(seed)
     return np.random.default_rng(seed)
+
+
+def rng_state() -> dict:
+    """Snapshot every random stream :func:`seed_everything` touches.
+
+    The snapshot is deep enough to be pickled into a checkpoint: restoring it
+    with :func:`set_rng_state` resumes all three streams bit-exactly, which is
+    what makes ``Trainer.resume()`` reproduce an uninterrupted run.
+    """
+    return {
+        "python": random.getstate(),
+        "numpy": np.random.get_state(),
+        "nn_init": nn_init.default_rng().bit_generator.state,
+    }
+
+
+def set_rng_state(state: dict) -> None:
+    """Restore a snapshot captured by :func:`rng_state`."""
+    random.setstate(state["python"])
+    np.random.set_state(state["numpy"])
+    nn_init.default_rng().bit_generator.state = state["nn_init"]
