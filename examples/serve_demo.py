@@ -9,6 +9,16 @@ Walks the `repro.serve` subsystem end to end:
    autotuned kernel tier and warms any per-shape winners persisted in
    ``~/.cache/repro-plans`` by earlier tuning runs (``autotune="full"`` or
    ``repro.engine.autotune.tune`` benchmarks and persists them).
+
+   When a C toolchain is present, full-mode tuning also *generates*
+   shape-specialized native kernels (the ``compiled`` tier's codegen,
+   PR 9) and benchmarks them against the blocked numpy variants; winners
+   persist like any other choice and the built objects are cached in
+   ``~/.cache/repro-codegen`` (``REPRO_CODEGEN_CACHE``), so later
+   processes — and respawned pool workers — load them from disk without
+   compiling. Set ``REPRO_CODEGEN=off`` (or have no compiler) and
+   everything degrades bit-exactly to the numpy paths; the
+   ``codegen_cache`` block in ``Server.stats()`` shows which happened.
 2. **Micro-batched serving** — single-image requests submitted from client
    threads are coalesced into batches under a latency deadline and served;
    the server reports p50/p99 latency and throughput.
@@ -28,6 +38,7 @@ import time
 import numpy as np
 
 from repro.engine import BatchRunner, ConvJob, autotune
+from repro.kernels import codegen
 from repro.models.resnet_cifar import resnet_tiny
 from repro.nn import Tensor
 from repro.nn.tensor import no_grad
@@ -61,6 +72,12 @@ def main() -> None:
           f"winners loaded from disk={tuning['loaded_records']}, "
           f"keys defaulted={tuning['default_keys']} "
           f"(tune(model, shape) benches + persists winners)")
+    cg = codegen.stats_dict()
+    print(f"    codegen: available={codegen.available()} "
+          f"(REPRO_CODEGEN=off or a missing compiler falls back to numpy "
+          f"bit-exactly), builds={cg['builds']}, "
+          f"disk_hits={cg['disk_hits']}, warm_loads={cg['warm_loads']} "
+          f"(autotune='full' builds + benchmarks specialized kernels)")
 
     # --- 2. micro-batched serving -------------------------------------------
     images = [rng.normal(size=(3, 32, 32)) for _ in range(48)]

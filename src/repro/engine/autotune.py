@@ -227,6 +227,17 @@ def _read_cache_file(path: str) -> dict | None:
     return data
 
 
+def _codegen_choice_absent(choice: dict) -> bool:
+    """True when ``choice`` names a codegen kernel this host cannot deliver."""
+    if choice.get("kernel") != "codegen":
+        return False
+    try:
+        from ..kernels import codegen
+        return not codegen.available()
+    except Exception:       # pragma: no cover - codegen package unimportable
+        return True
+
+
 def warm_disk() -> int:
     """Load the on-disk winners into the in-process store (idempotent).
 
@@ -234,7 +245,11 @@ def warm_disk() -> int:
     ``backend`` is no longer registered — e.g. written by a build that had
     an experimental tier — are skipped as clean misses, never resolved
     through the registry (so no :class:`UnknownBackendError` can escape a
-    cache load).  In ``off`` mode this is a no-op.
+    cache load).  Likewise records whose choice names a ``codegen`` kernel
+    when codegen cannot deliver on this host (``REPRO_CODEGEN=off``, no
+    toolchain): adopting one would only route every call through a run-time
+    fallback, so they are skipped — and counted — as stale.  In ``off``
+    mode this is a no-op.
     """
     global _DISK_LOADED
     if get_mode() == "off":
@@ -253,7 +268,8 @@ def warm_disk() -> int:
         for key, rec in data["records"].items():
             if not isinstance(rec, dict) or not isinstance(key, str) \
                     or not isinstance(rec.get("choice"), dict) \
-                    or rec.get("backend") not in known:
+                    or rec.get("backend") not in known \
+                    or _codegen_choice_absent(rec["choice"]):
                 _STATS.stale_records += 1
                 continue
             if key in _STORE and _STORE[key]["source"] != "default":

@@ -1,0 +1,494 @@
+"""C source emitters for shape-specialized convolution kernels.
+
+Every function here is a *pure* text generator: a frozen geometry spec in, a
+``KernelSource`` (function name, cffi cdef, C translation unit) out.  Nothing
+in this module imports cffi or touches a compiler — :mod:`.build` owns that —
+so source generation stays importable and testable on toolchain-less hosts.
+
+The emitted kernels encode one specific strategy, validated against the
+blocked-numpy ``fast`` backend on the bench geometries:
+
+* **Transforms are fully unrolled with constants folded.**  The Winograd
+  matrices (``BT``/``AT``) are small and frozen per plan, so each transform
+  stage is emitted as straight-line code whose zero coefficients vanish and
+  whose ±1 coefficients become bare adds — the compiler sees pure FMA chains.
+* **The tile dimension is the innermost, vectorized axis.**  Tiles are
+  processed in blocks of ``TB`` lanes; every transform statement and GEMM
+  accumulator runs across the lanes with ``#pragma omp simd`` (compiled with
+  ``-fopenmp-simd``, no runtime dependency).  Without the pragma, gcc
+  prefers to vectorize the channel *reduction* loop — strided gathers that
+  run ~4x slower than lane-parallel FMAs.
+* **The tap GEMMs are register-blocked four output rows at a time**, with
+  the accumulator lanes held in locals across the full channel loop.
+
+All kernels are float64-only (the reproduction's serving/training dtype) and
+rely on the caller for contiguity and shape checks.  They use ``static``
+workspace buffers, so a single compiled kernel is not reentrant — fine for
+this codebase (one kernel invocation per process at a time), noted here so
+nobody wires one into a thread pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "KernelSource",
+    "WinogradSpec",
+    "GemmSpec",
+    "emit_winograd_forward",
+    "emit_winograd_backward",
+    "emit_gemm",
+]
+
+
+@dataclass(frozen=True)
+class KernelSource:
+    """A generated translation unit: one exported function."""
+    name: str          # exported C function name
+    cdef: str          # cffi-style declaration
+    source: str        # full C source
+
+
+@dataclass(frozen=True)
+class WinogradSpec:
+    """Frozen geometry for a fused Winograd kernel (one LayerPlan shape)."""
+    n: int             # batch
+    cin: int
+    cout: int
+    hp: int            # padded input height
+    wp: int            # padded input width
+    out_h: int
+    out_w: int
+    m: int             # output tile size
+    r: int             # kernel taps
+    bt: tuple          # alpha x alpha input-transform rows (tuples of float)
+    at: tuple          # m x alpha output-transform rows
+
+    @property
+    def alpha(self) -> int:
+        return self.m + self.r - 1
+
+    @property
+    def n_h(self) -> int:
+        return (self.hp - (self.r - 1)) // self.m
+
+    @property
+    def n_w(self) -> int:
+        return (self.wp - (self.r - 1)) // self.m
+
+    @property
+    def ntiles(self) -> int:
+        return self.n * self.n_h * self.n_w
+
+    @property
+    def tb(self) -> int:
+        # Lane-block width: 16 doubles = two AVX-512 registers per
+        # accumulator row, the sweet spot measured on the bench geometries.
+        return min(16, self.ntiles)
+
+
+@dataclass(frozen=True)
+class GemmSpec:
+    """Frozen geometry for the im2col GEMM: out(N,O,P) = w(O,K) @ cols(N,K,P)."""
+    n: int
+    o: int
+    k: int
+    p: int
+
+    @property
+    def pb(self) -> int:
+        return min(64, self.p)
+
+
+def lincomb(coeffs, term) -> str:
+    """Emit an unrolled dot product, folding 0 and ±1 coefficients."""
+    parts = []
+    for k, cv in enumerate(coeffs):
+        cv = float(cv)
+        if cv == 0.0:
+            continue
+        tk = term(k)
+        if cv == 1.0:
+            parts.append(f"+ {tk}")
+        elif cv == -1.0:
+            parts.append(f"- {tk}")
+        else:
+            parts.append(f"+ {cv!r}*{tk}")
+    if not parts:
+        return "0.0"
+    s = " ".join(parts)
+    return s[2:] if s.startswith("+ ") else s
+
+
+def _col(mat, j):
+    """Column ``j`` of a row-major nested tuple matrix."""
+    return tuple(row[j] for row in mat)
+
+
+def _stage(dst, rows, cols, coeffs_for, src_term, *, bound="TB", ind=3) -> str:
+    """Emit one separable-transform stage, lane-vectorized.
+
+    For each (i, j) emits ``<dst lvalue> = <lincomb over k>`` inside a
+    ``#pragma omp simd`` lane loop.  ``dst`` is either an array name (lvalue
+    ``dst[i][j][tt]``) or a callable ``(i, j) -> lvalue``.
+    """
+    pad = "    " * ind
+    lval = dst if callable(dst) else (
+        lambda i, j: f"{dst}[{i}][{j}][tt]")
+    out = []
+    for i in range(rows):
+        for j in range(cols):
+            expr = lincomb(coeffs_for(i, j), lambda k: src_term(k, i, j))
+            out.append(f"{pad}#pragma omp simd\n"
+                       f"{pad}for (int tt = 0; tt < {bound}; tt++)\n"
+                       f"{pad}    {lval(i, j)} = {expr};")
+    return "\n".join(out)
+
+
+def _tile_coords(ind: int, clamp: bool) -> str:
+    """Emit flat-batch tile decoding: tile -> (img, ti, tj)."""
+    pad = "    " * ind
+    clamp_s = f"{pad}if (tile >= NT) tile = NT - 1;\n" if clamp else ""
+    return (f"{pad}int tile = t0 + tt;\n"
+            f"{clamp_s}"
+            f"{pad}int img = tile / (NH*NW);\n"
+            f"{pad}int rem = tile - img*(NH*NW);\n"
+            f"{pad}int ti = rem / NW, tj = rem - ti*NW;")
+
+
+def _input_transform_block(spec: WinogradSpec) -> str:
+    """Gather input tiles and apply BT · d · BTᵀ into ``x_r[tap][c][lane]``.
+
+    Shared verbatim between the forward kernel and the backward kernel (the
+    backward recomputes the input transform instead of saving the ~alpha²
+    blow-up of transformed activations).  Out-of-range lanes in the final
+    partial block gather a clamped (duplicate) tile; consumers either ignore
+    those lanes (forward scatter is bounded by ``tb``) or see them multiplied
+    by zeros (backward, where the gradient lanes are zero-filled).
+    """
+    a = spec.alpha
+    gather = "\n".join(
+        f"                g[{i}][{j}][tt] = p[{i}*WP + {j}];"
+        for i in range(a) for j in range(a))
+    stage1 = _stage("t1", a, a, lambda i, j: spec.bt[i],
+                    lambda k, i, j: f"g[{k}][{j}][tt]")
+    stage2 = _stage(lambda i, j: f"x_r[{i}*A + {j}][c][tt]", a, a,
+                    lambda i, j: spec.bt[j],
+                    lambda k, i, j: f"t1[{i}][{k}][tt]")
+    return f"""\
+        for (int c = 0; c < CIN; c++) {{
+            double g[A][A][TB], t1[A][A][TB];
+            for (int tt = 0; tt < TB; tt++) {{
+{_tile_coords(4, clamp=True)}
+                const double* p = x + ((long)img*CIN + c)*HP*WP
+                                    + (long)(ti*M)*WP + tj*M;
+{gather}
+            }}
+{stage1}
+{stage2}
+        }}"""
+
+
+def _tap_gemm_block(rows: str, k: str, wt_expr: str, src: str, dst: str,
+                    *, accumulate: bool = False) -> str:
+    """Register-blocked GEMM: dst[row][lane] (+)= Σ_k w[row][k] · src[k][lane].
+
+    Four output rows at a time with lane accumulators held local across the
+    reduction, plus a one-row tail for ``rows % 4``.
+    """
+    op = "+=" if accumulate else "="
+    store4 = "\n".join(
+        f"                        {dst}[o+{i}][tt] {op} a{i}[tt];"
+        for i in range(4))
+    return f"""\
+            {{
+                const double* wt = {wt_expr};
+                int o = 0;
+                for (; o + 4 <= {rows}; o += 4) {{
+                    double a0[TB] = {{0}}, a1[TB] = {{0}},
+                           a2[TB] = {{0}}, a3[TB] = {{0}};
+                    const double* w0 = wt + (long)o*{k};
+                    const double* w1 = w0 + {k};
+                    const double* w2 = w1 + {k};
+                    const double* w3 = w2 + {k};
+                    for (int c = 0; c < {k}; c++) {{
+                        const double* xc = {src}[c];
+                        double v0 = w0[c], v1 = w1[c], v2 = w2[c], v3 = w3[c];
+                        #pragma omp simd
+                        for (int tt = 0; tt < TB; tt++) {{
+                            double xv = xc[tt];
+                            a0[tt] += v0 * xv;
+                            a1[tt] += v1 * xv;
+                            a2[tt] += v2 * xv;
+                            a3[tt] += v3 * xv;
+                        }}
+                    }}
+                    for (int tt = 0; tt < TB; tt++) {{
+{store4}
+                    }}
+                }}
+                for (; o < {rows}; o++) {{
+                    double a0[TB] = {{0}};
+                    const double* w0 = wt + (long)o*{k};
+                    for (int c = 0; c < {k}; c++) {{
+                        const double* xc = {src}[c];
+                        double v0 = w0[c];
+                        #pragma omp simd
+                        for (int tt = 0; tt < TB; tt++)
+                            a0[tt] += v0 * xc[tt];
+                    }}
+                    for (int tt = 0; tt < TB; tt++)
+                        {dst}[o][tt] {op} a0[tt];
+                }}
+            }}"""
+
+
+def _defines(spec: WinogradSpec) -> str:
+    return f"""\
+#define A {spec.alpha}
+#define M {spec.m}
+#define CIN {spec.cin}
+#define COUT {spec.cout}
+#define HP {spec.hp}
+#define WP {spec.wp}
+#define NH {spec.n_h}
+#define NW {spec.n_w}
+#define OH {spec.out_h}
+#define OW {spec.out_w}
+#define NT {spec.ntiles}
+#define TB {spec.tb}"""
+
+
+def emit_winograd_forward(spec: WinogradSpec) -> KernelSource:
+    """Fused Winograd forward: out(N,COUT,OH,OW) from x(N,CIN,HP,WP) and
+    tap-major transformed weights w_r(A²,COUT,CIN)."""
+    m = spec.m
+    cropped = spec.n_h * m > spec.out_h or spec.n_w * m > spec.out_w
+    stage_at1 = _stage("t2", m, spec.alpha, lambda i, j: spec.at[i],
+                       lambda k, i, j: f"acc[{k}*A + {j}][o][tt]", ind=2)
+    stage_at2 = _stage("ot", m, m, lambda i, j: spec.at[j],
+                       lambda k, i, j: f"t2[{i}][{k}][tt]", ind=2)
+    if cropped:
+        scatter_body = """\
+                int rmax = OH - ti*M; if (rmax > M) rmax = M;
+                int cmax = OW - tj*M; if (cmax > M) cmax = M;
+                for (int i = 0; i < rmax; i++)
+                    for (int j = 0; j < cmax; j++)
+                        oo[(long)i*OW + j] = ot[i][j][tt];"""
+    else:
+        scatter = "\n".join(
+            f"                oo[{i}L*OW + {j}] = ot[{i}][{j}][tt];"
+            for i in range(m) for j in range(m))
+        scatter_body = scatter
+    name = "wino_fwd"
+    source = f"""\
+{_defines(spec)}
+
+void {name}(const double* restrict x, const double* restrict w_r,
+            double* restrict out)
+{{
+    static double x_r[A*A][CIN][TB];
+    static double acc[A*A][COUT][TB];
+    for (int t0 = 0; t0 < NT; t0 += TB) {{
+        int tb = NT - t0 < TB ? NT - t0 : TB;
+{_input_transform_block(spec)}
+        for (int tap = 0; tap < A*A; tap++)
+{_tap_gemm_block("COUT", "CIN", "w_r + (long)tap*COUT*CIN", "x_r[tap]",
+                 "acc[tap]")}
+        for (int o = 0; o < COUT; o++) {{
+            double t2[M][A][TB], ot[M][M][TB];
+{stage_at1}
+{stage_at2}
+            for (int tt = 0; tt < tb; tt++) {{
+{_tile_coords(4, clamp=False)}
+                double* oo = out + ((long)img*COUT + o)*OH*OW
+                                 + (long)(ti*M)*OW + tj*M;
+{scatter_body}
+            }}
+        }}
+    }}
+}}
+"""
+    cdef = f"void {name}(const double*, const double*, double*);"
+    return KernelSource(name=name, cdef=cdef, source=source)
+
+
+def emit_winograd_backward(spec: WinogradSpec) -> KernelSource:
+    """Fused Winograd adjoint pair.
+
+    Inputs: x(N,CIN,HP,WP) (the padded forward input), w_rt(A²,CIN,COUT)
+    (tap-major weights transposed per tap) and grad(N,COUT,OH,OW).  Outputs,
+    both **pre-zeroed by the caller**: dx(N,CIN,HP,WP) (overlap scatter-add)
+    and dw_r(A²,COUT,CIN) (the Winograd-domain weight gradient, untransformed
+    back to tap space by the caller via Gᵀ·dŵ·G).  Same algebra as
+    :func:`repro.kernels.fast.winograd_autograd`'s backward closure.
+    """
+    a, m = spec.alpha, spec.m
+    cropped = spec.n_h * m > spec.out_h or spec.n_w * m > spec.out_w
+    if cropped:
+        grad_gather = "\n".join(
+            f"                g[{i}][{j}][tt] = (ti*M + {i} < OH && "
+            f"tj*M + {j} < OW) ? gp[{i}L*OW + {j}] : 0.0;"
+            for i in range(m) for j in range(m))
+    else:
+        grad_gather = "\n".join(
+            f"                g[{i}][{j}][tt] = gp[{i}L*OW + {j}];"
+            for i in range(m) for j in range(m))
+    zero_lanes = "\n".join(
+        f"                g[{i}][{j}][tt] = 0.0;"
+        for i in range(m) for j in range(m))
+    # dacc = ATᵀ · ĝ · AT per tile: s1 = ĝ @ AT, dacc = ATᵀ @ s1.
+    stage_g1 = _stage("s1", m, a, lambda i, j: _col(spec.at, j),
+                      lambda k, i, j: f"g[{i}][{k}][tt]", ind=3)
+    stage_g2 = _stage(lambda i, j: f"dacc[{i}*A + {j}][o][tt]", a, a,
+                      lambda i, j: _col(spec.at, i),
+                      lambda k, i, j: f"s1[{k}][{j}][tt]", ind=3)
+    # dt = BTᵀ · dx̂ · BT per tile: u1 = BTᵀ @ dx̂, ut = u1 @ BT.
+    stage_b1 = _stage("u1", a, a, lambda i, j: _col(spec.bt, i),
+                      lambda k, i, j: f"dx_r[{k}*A + {j}][c][tt]", ind=3)
+    stage_b2 = _stage("ut", a, a, lambda i, j: _col(spec.bt, j),
+                      lambda k, i, j: f"u1[{i}][{k}][tt]", ind=3)
+    dx_scatter = "\n".join(
+        f"                dp[{i}L*WP + {j}] += ut[{i}][{j}][tt];"
+        for i in range(a) for j in range(a))
+    name = "wino_bwd"
+    source = f"""\
+{_defines(spec)}
+
+void {name}(const double* restrict x, const double* restrict w_rt,
+            const double* restrict grad, double* restrict dx,
+            double* restrict dw_r)
+{{
+    static double x_r[A*A][CIN][TB];
+    static double dacc[A*A][COUT][TB];
+    static double dx_r[A*A][CIN][TB];
+    for (int t0 = 0; t0 < NT; t0 += TB) {{
+        int tb = NT - t0 < TB ? NT - t0 : TB;
+{_input_transform_block(spec)}
+        /* Gradient gather + output-adjoint transform: dacc = ATt g AT. */
+        for (int o = 0; o < COUT; o++) {{
+            double g[M][M][TB], s1[M][A][TB];
+            for (int tt = tb; tt < TB; tt++) {{
+{zero_lanes}
+            }}
+            for (int tt = 0; tt < tb; tt++) {{
+{_tile_coords(4, clamp=False)}
+                const double* gp = grad + ((long)img*COUT + o)*OH*OW
+                                        + (long)(ti*M)*OW + tj*M;
+{grad_gather}
+            }}
+{stage_g1}
+{stage_g2}
+        }}
+        /* dx_r[tap] = w_rt[tap] (CINxCOUT) @ dacc[tap] (COUTxTB). */
+        for (int tap = 0; tap < A*A; tap++)
+{_tap_gemm_block("CIN", "COUT", "w_rt + (long)tap*CIN*COUT", "dacc[tap]",
+                 "dx_r[tap]")}
+        /* dw_r[tap][o][c] += sum_tt dacc[tap][o][tt] * x_r[tap][c][tt].
+           Zero-padded grad lanes (tt >= tb) contribute exact zeros, so the
+           clamped duplicate x lanes never double-count. */
+        for (int tap = 0; tap < A*A; tap++) {{
+            double xT[TB][CIN];
+            for (int c = 0; c < CIN; c++)
+                for (int tt = 0; tt < TB; tt++)
+                    xT[tt][c] = x_r[tap][c][tt];
+            double* dwt = dw_r + (long)tap*COUT*CIN;
+            for (int o = 0; o < COUT; o++) {{
+                double drow[CIN];
+                #pragma omp simd
+                for (int c = 0; c < CIN; c++) drow[c] = 0.0;
+                for (int tt = 0; tt < TB; tt++) {{
+                    double gv = dacc[tap][o][tt];
+                    const double* xr = xT[tt];
+                    #pragma omp simd
+                    for (int c = 0; c < CIN; c++) drow[c] += gv * xr[c];
+                }}
+                double* dst = dwt + (long)o*CIN;
+                #pragma omp simd
+                for (int c = 0; c < CIN; c++) dst[c] += drow[c];
+            }}
+        }}
+        /* Input-adjoint untransform + overlap scatter-add into dx. */
+        for (int c = 0; c < CIN; c++) {{
+            double u1[A][A][TB], ut[A][A][TB];
+{stage_b1}
+{stage_b2}
+            for (int tt = 0; tt < tb; tt++) {{
+{_tile_coords(4, clamp=False)}
+                double* dp = dx + ((long)img*CIN + c)*HP*WP
+                                + (long)(ti*M)*WP + tj*M;
+{dx_scatter}
+            }}
+        }}
+    }}
+}}
+"""
+    cdef = (f"void {name}(const double*, const double*, const double*, "
+            f"double*, double*);")
+    return KernelSource(name=name, cdef=cdef, source=source)
+
+
+def emit_gemm(spec: GemmSpec) -> KernelSource:
+    """im2col GEMM: out(N,O,P) = w(O,K) @ cols(N,K,P), shapes baked in."""
+    name = "conv_gemm"
+    source = f"""\
+#define NB {spec.n}
+#define O {spec.o}
+#define K {spec.k}
+#define P {spec.p}
+#define PB {spec.pb}
+
+void {name}(const double* restrict w, const double* restrict cols,
+            double* restrict out)
+{{
+    for (int n = 0; n < NB; n++) {{
+        const double* cn = cols + (long)n*K*P;
+        double* on = out + (long)n*O*P;
+        for (int p0 = 0; p0 < P; p0 += PB) {{
+            int pb = P - p0 < PB ? P - p0 : PB;
+            int o = 0;
+            for (; o + 4 <= O; o += 4) {{
+                double a0[PB] = {{0}}, a1[PB] = {{0}},
+                       a2[PB] = {{0}}, a3[PB] = {{0}};
+                const double* w0 = w + (long)o*K;
+                const double* w1 = w0 + K;
+                const double* w2 = w1 + K;
+                const double* w3 = w2 + K;
+                for (int k = 0; k < K; k++) {{
+                    const double* ck = cn + (long)k*P + p0;
+                    double v0 = w0[k], v1 = w1[k], v2 = w2[k], v3 = w3[k];
+                    #pragma omp simd
+                    for (int pp = 0; pp < pb; pp++) {{
+                        double cv = ck[pp];
+                        a0[pp] += v0 * cv;
+                        a1[pp] += v1 * cv;
+                        a2[pp] += v2 * cv;
+                        a3[pp] += v3 * cv;
+                    }}
+                }}
+                for (int pp = 0; pp < pb; pp++) {{
+                    on[(long)o*P + p0 + pp] = a0[pp];
+                    on[(long)(o+1)*P + p0 + pp] = a1[pp];
+                    on[(long)(o+2)*P + p0 + pp] = a2[pp];
+                    on[(long)(o+3)*P + p0 + pp] = a3[pp];
+                }}
+            }}
+            for (; o < O; o++) {{
+                double a0[PB] = {{0}};
+                const double* w0 = w + (long)o*K;
+                for (int k = 0; k < K; k++) {{
+                    const double* ck = cn + (long)k*P + p0;
+                    double v0 = w0[k];
+                    #pragma omp simd
+                    for (int pp = 0; pp < pb; pp++) a0[pp] += v0 * ck[pp];
+                }}
+                for (int pp = 0; pp < pb; pp++)
+                    on[(long)o*P + p0 + pp] = a0[pp];
+            }}
+        }}
+    }}
+}}
+"""
+    cdef = f"void {name}(const double*, const double*, double*);"
+    return KernelSource(name=name, cdef=cdef, source=source)

@@ -1,0 +1,163 @@
+"""Optional numba emitter: JIT-specialized kernels without a C toolchain.
+
+Selected with ``REPRO_CODEGEN_EMITTER=numba``.  Where the cffi emitter
+writes C text with the plan geometry folded into constants, this one closes
+a generic nested-loop kernel over the same frozen ``WinogradSpec`` /
+``GemmSpec`` and hands it to ``numba.njit`` — numba's type specialization
+plays the role of the C compiler.  Kernels are cached per spec in-process
+(numba's own on-disk cache is not used: the object-store contract — atomic
+publish, digest naming — is the cffi emitter's job, and this path is the
+fallback for hosts that have numba but no ``cc``).
+
+Everything degrades to ``None`` when numba is not importable, so the module
+is always safe to import (numba is an *optional* dependency and absent from
+the pinned environment; CI exercises only the import-and-decline path).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+
+from .emit import GemmSpec, WinogradSpec
+
+__all__ = ["available", "forward_kernel", "backward_kernel", "gemm_kernel"]
+
+_NUMBA = None
+_CACHE: dict = {}
+
+
+def available() -> bool:
+    return importlib.util.find_spec("numba") is not None
+
+
+def _numba():
+    global _NUMBA
+    if _NUMBA is None and available():
+        import numba
+        _NUMBA = numba
+    return _NUMBA
+
+
+def forward_kernel(spec: WinogradSpec):
+    """njit fused forward with the same signature contract as the C kernel:
+    ``kern(x, w_r, out)`` on C-contiguous float64 arrays."""
+    nb = _numba()
+    if nb is None:
+        return None
+    key = ("fwd", spec)
+    if key in _CACHE:
+        return _CACHE[key]
+    bt = np.asarray(spec.bt, dtype=np.float64)
+    at = np.asarray(spec.at, dtype=np.float64)
+    m, a = spec.m, spec.alpha
+    n_h, n_w = spec.n_h, spec.n_w
+    out_h, out_w = spec.out_h, spec.out_w
+
+    @nb.njit(cache=False, fastmath=False)
+    def kern(x, w_r, out):
+        n, cin = x.shape[0], x.shape[1]
+        cout = w_r.shape[1]
+        d = np.empty((a, a), dtype=np.float64)
+        for img in range(n):
+            for ti in range(n_h):
+                for tj in range(n_w):
+                    acc = np.zeros((a * a, cout), dtype=np.float64)
+                    for c in range(cin):
+                        tile = x[img, c, ti * m:ti * m + a, tj * m:tj * m + a]
+                        d[:, :] = bt @ tile @ bt.T
+                        for tap in range(a * a):
+                            dv = d[tap // a, tap % a]
+                            for o in range(cout):
+                                acc[tap, o] += w_r[tap, o, c] * dv
+                    for o in range(cout):
+                        y = at @ acc[:, o].reshape(a, a) @ at.T
+                        for i in range(min(m, out_h - ti * m)):
+                            for j in range(min(m, out_w - tj * m)):
+                                out[img, o, ti * m + i, tj * m + j] = y[i, j]
+
+    _CACHE[key] = kern
+    return kern
+
+
+def backward_kernel(spec: WinogradSpec):
+    """njit adjoint pair: ``kern(x, w_rt, grad, dx, dw_r)``, dx/dw_r
+    pre-zeroed by the caller — the same contract as the C ``wino_bwd``."""
+    nb = _numba()
+    if nb is None:
+        return None
+    key = ("bwd", spec)
+    if key in _CACHE:
+        return _CACHE[key]
+    bt = np.asarray(spec.bt, dtype=np.float64)
+    at = np.asarray(spec.at, dtype=np.float64)
+    m, a = spec.m, spec.alpha
+    n_h, n_w = spec.n_h, spec.n_w
+    out_h, out_w = spec.out_h, spec.out_w
+
+    @nb.njit(cache=False, fastmath=False)
+    def kern(x, w_rt, grad, dx, dw_r):
+        n, cin = x.shape[0], x.shape[1]
+        cout = grad.shape[1]
+        g = np.empty((m, m), dtype=np.float64)
+        for img in range(n):
+            for ti in range(n_h):
+                for tj in range(n_w):
+                    x_r = np.empty((a * a, cin), dtype=np.float64)
+                    for c in range(cin):
+                        tile = x[img, c, ti * m:ti * m + a, tj * m:tj * m + a]
+                        d = bt @ tile @ bt.T
+                        for tap in range(a * a):
+                            x_r[tap, c] = d[tap // a, tap % a]
+                    dacc = np.empty((a * a, cout), dtype=np.float64)
+                    for o in range(cout):
+                        g[:, :] = 0.0
+                        for i in range(min(m, out_h - ti * m)):
+                            for j in range(min(m, out_w - tj * m)):
+                                g[i, j] = grad[img, o, ti * m + i, tj * m + j]
+                        dk = at.T @ g @ at
+                        for tap in range(a * a):
+                            dacc[tap, o] = dk[tap // a, tap % a]
+                    for tap in range(a * a):
+                        for o in range(cout):
+                            for c in range(cin):
+                                dw_r[tap, o, c] += dacc[tap, o] * x_r[tap, c]
+                    for c in range(cin):
+                        dxr = np.empty((a, a), dtype=np.float64)
+                        for tap in range(a * a):
+                            s = 0.0
+                            for o in range(cout):
+                                s += w_rt[tap, c, o] * dacc[tap, o]
+                            dxr[tap // a, tap % a] = s
+                        dt = bt.T @ dxr @ bt
+                        for i in range(a):
+                            for j in range(a):
+                                dx[img, c, ti * m + i, tj * m + j] += dt[i, j]
+
+    _CACHE[key] = kern
+    return kern
+
+
+def gemm_kernel(spec: GemmSpec):
+    """njit im2col GEMM: ``kern(w2d, cols, out)``."""
+    nb = _numba()
+    if nb is None:
+        return None
+    key = ("gemm", spec)
+    if key in _CACHE:
+        return _CACHE[key]
+
+    @nb.njit(cache=False, fastmath=False)
+    def kern(w2d, cols, out):
+        n, k, p = cols.shape
+        o = w2d.shape[0]
+        for img in range(n):
+            out[img, :, :] = w2d @ cols[img]
+
+    _CACHE[key] = kern
+    return kern
+
+
+def reset() -> None:
+    _CACHE.clear()

@@ -1,0 +1,243 @@
+"""Compiled kernel backend: per-shape generated native kernels, else ``fast``.
+
+The fourth backend tier.  For float64 calls whose geometry the
+:mod:`repro.kernels.codegen` package supports, the three hottest primitives —
+fused Winograd forward, fused Winograd autograd, im2col GEMM — run as
+shape-specialized native kernels (C via cffi by default, numba optionally).
+Every other primitive, every non-float64 dtype (including the bit-exact
+integer simulation paths) and every call made while codegen is unavailable
+(``REPRO_CODEGEN=off``, no C toolchain, a failed build) executes the ``fast``
+backend's code *verbatim* — so on a toolchain-less host this backend is
+bit-identical to ``fast`` by construction.
+
+This module also exports the ``try_*`` / ``prepare_*`` entry points the
+``tuned`` tier uses to register generated kernels as autotune candidates:
+``prepare_*`` builds (or disk-loads) the kernel for a geometry ahead of the
+benchmark rounds so :func:`repro.engine.autotune.decide` times the kernel,
+never the compile; ``try_*`` runs it, returning ``None`` when codegen cannot
+deliver so callers fall back to their numpy paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import codegen, fast
+from .codegen import GemmSpec, WinogradSpec
+from .registry import KernelBackend
+
+__all__ = [
+    "BACKEND",
+    "winograd_forward", "winograd_autograd", "conv2d_gemm",
+    "try_forward", "try_autograd", "try_gemm",
+    "prepare_forward", "prepare_autograd", "prepare_gemm",
+]
+
+# Emitted source is O(alpha²) straight-line statements and the kernels keep
+# static alpha²·C·TB workspaces; cap the geometry so a pathological plan
+# can't explode compile time or the BSS.  F2/F4/F6 all fit comfortably.
+_MAX_ALPHA = 8
+_MAX_CHANNELS = 1024
+
+
+def _f64(*arrays) -> bool:
+    return all(a.dtype == np.float64 for a in arrays)
+
+
+def _wino_spec(x_padded: np.ndarray, cout: int, transform,
+               out_h: int, out_w: int) -> WinogradSpec | None:
+    n, cin, hp, wp = x_padded.shape
+    m, r = transform.m, transform.r
+    a = m + r - 1
+    if a > _MAX_ALPHA or cin > _MAX_CHANNELS or cout > _MAX_CHANNELS:
+        return None
+    n_h = (hp - (r - 1)) // m
+    n_w = (wp - (r - 1)) // m
+    if n * n_h * n_w < 1:
+        return None
+    if n_h * m < out_h or n_w * m < out_w:
+        return None            # tiles don't cover the requested output
+
+    as_rows = lambda mat: tuple(
+        tuple(float(v) for v in row) for row in np.asarray(mat))
+    return WinogradSpec(n=n, cin=cin, cout=cout, hp=hp, wp=wp,
+                        out_h=out_h, out_w=out_w, m=m, r=r,
+                        bt=as_rows(transform.BT), at=as_rows(transform.AT))
+
+
+# --------------------------------------------------------------------------- #
+# Fused Winograd forward
+# --------------------------------------------------------------------------- #
+def prepare_forward(x_padded: np.ndarray, w_r: np.ndarray, transform,
+                    out_h: int, out_w: int) -> bool:
+    """Build (or load) the forward kernel for this geometry; True if ready."""
+    if not codegen.available() or not _f64(x_padded, w_r):
+        return False
+    spec = _wino_spec(x_padded, w_r.shape[1], transform, out_h, out_w)
+    return spec is not None and codegen.forward_kernel(spec) is not None
+
+
+def try_forward(x_padded: np.ndarray, weight: np.ndarray, transform,
+                out_h: int, out_w: int,
+                w_r: np.ndarray | None = None,
+                out: np.ndarray | None = None) -> np.ndarray | None:
+    if not codegen.available() or x_padded.dtype != np.float64:
+        return None
+    if w_r is None:
+        if weight.dtype != np.float64:
+            return None
+        w_r = fast.transform_weights_tap_major(weight, transform)
+    if w_r.dtype != np.float64:
+        return None
+    cout = w_r.shape[1]
+    spec = _wino_spec(x_padded, cout, transform, out_h, out_w)
+    if spec is None:
+        return None
+    kern = codegen.forward_kernel(spec)
+    if kern is None:
+        return None
+    xc = np.ascontiguousarray(x_padded)
+    wc = np.ascontiguousarray(w_r)
+    shape = (spec.n, cout, out_h, out_w)
+    if (out is not None and out.shape == shape and out.dtype == np.float64
+            and out.flags.c_contiguous):
+        res = out
+    else:
+        res = np.empty(shape, dtype=np.float64)
+    kern(xc, wc, res)
+    return res
+
+
+def winograd_forward(x_padded: np.ndarray, weight: np.ndarray, transform,
+                     out_h: int, out_w: int,
+                     w_r: np.ndarray | None = None,
+                     out: np.ndarray | None = None) -> np.ndarray:
+    res = try_forward(x_padded, weight, transform, out_h, out_w,
+                      w_r=w_r, out=out)
+    if res is not None:
+        return res
+    return fast.winograd_forward(x_padded, weight, transform, out_h, out_w,
+                                 w_r=w_r, out=out)
+
+
+# --------------------------------------------------------------------------- #
+# Fused Winograd autograd
+# --------------------------------------------------------------------------- #
+def prepare_autograd(x_padded: np.ndarray, weight: np.ndarray, transform,
+                     out_h: int, out_w: int) -> bool:
+    """Build (or load) the forward+backward pair; True when both are ready."""
+    if not codegen.available() or not _f64(x_padded, weight):
+        return False
+    spec = _wino_spec(x_padded, weight.shape[0], transform, out_h, out_w)
+    if spec is None:
+        return False
+    return (codegen.forward_kernel(spec) is not None
+            and codegen.backward_kernel(spec) is not None)
+
+
+def try_autograd(x_padded: np.ndarray, weight: np.ndarray, transform,
+                 out_h: int, out_w: int):
+    if not codegen.available() or not _f64(x_padded, weight):
+        return None
+    cout, cin = weight.shape[0], weight.shape[1]
+    spec = _wino_spec(x_padded, cout, transform, out_h, out_w)
+    if spec is None:
+        return None
+    fwd_kern = codegen.forward_kernel(spec)
+    bwd_kern = codegen.backward_kernel(spec)
+    if fwd_kern is None or bwd_kern is None:
+        return None
+    a = spec.alpha
+    xc = np.ascontiguousarray(x_padded)
+    w_r = np.ascontiguousarray(
+        fast.transform_weights_tap_major(weight, transform))
+    out = np.empty((spec.n, cout, out_h, out_w), dtype=np.float64)
+    fwd_kern(xc, w_r, out)
+    # The backward GEMM wants the per-tap transpose (a², Cin, Cout).
+    w_rt = np.ascontiguousarray(w_r.transpose(0, 2, 1))
+    g_mat = np.asarray(transform.G, dtype=np.float64)
+
+    def backward(grad: np.ndarray):
+        g = np.ascontiguousarray(grad, dtype=np.float64)
+        dx = np.zeros_like(xc)
+        dw_r = np.zeros((a * a, cout, cin), dtype=np.float64)
+        bwd_kern(xc, w_rt, g, dx, dw_r)
+        # Winograd-domain weight gradient back to tap space: Gᵀ · dŴ · G.
+        dw_wino = dw_r.reshape(a, a, cout, cin).transpose(2, 3, 0, 1)
+        dw = g_mat.T @ dw_wino @ g_mat
+        return dx, np.ascontiguousarray(dw)
+
+    return out, backward
+
+
+def winograd_autograd(x_padded: np.ndarray, weight: np.ndarray, transform,
+                      out_h: int, out_w: int):
+    res = try_autograd(x_padded, weight, transform, out_h, out_w)
+    if res is not None:
+        return res
+    return fast.winograd_autograd(x_padded, weight, transform, out_h, out_w)
+
+
+# --------------------------------------------------------------------------- #
+# im2col GEMM
+# --------------------------------------------------------------------------- #
+def _gemm_spec(w2d: np.ndarray, cols: np.ndarray) -> GemmSpec | None:
+    if cols.ndim != 3 or w2d.ndim != 2 or w2d.shape[1] != cols.shape[1]:
+        return None
+    return GemmSpec(n=cols.shape[0], o=w2d.shape[0],
+                    k=w2d.shape[1], p=cols.shape[2])
+
+
+def prepare_gemm(w2d: np.ndarray, cols: np.ndarray) -> bool:
+    if not codegen.available() or not _f64(w2d, cols):
+        return False
+    spec = _gemm_spec(w2d, cols)
+    return spec is not None and codegen.gemm_kernel(spec) is not None
+
+
+def try_gemm(w2d: np.ndarray, cols: np.ndarray,
+             out: np.ndarray | None = None) -> np.ndarray | None:
+    if not codegen.available() or not _f64(w2d, cols):
+        return None
+    spec = _gemm_spec(w2d, cols)
+    if spec is None:
+        return None
+    kern = codegen.gemm_kernel(spec)
+    if kern is None:
+        return None
+    wc = np.ascontiguousarray(w2d)
+    cc = np.ascontiguousarray(cols)
+    shape = (spec.n, spec.o, spec.p)
+    if (out is not None and out.shape == shape and out.dtype == np.float64
+            and out.flags.c_contiguous):
+        res = out
+    else:
+        res = np.empty(shape, dtype=np.float64)
+    kern(wc, cc, res)
+    return res
+
+
+def conv2d_gemm(w2d: np.ndarray, cols: np.ndarray,
+                out: np.ndarray | None = None) -> np.ndarray:
+    res = try_gemm(w2d, cols, out=out)
+    if res is not None:
+        return res
+    return fast.conv2d_gemm(w2d, cols, out=out)
+
+
+BACKEND = KernelBackend(
+    name="compiled",
+    tile_contract=fast.tile_contract,
+    tile_contract_dx=fast.tile_contract_dx,
+    tile_contract_dw=fast.tile_contract_dw,
+    apply_transform_pair=fast.apply_transform_pair,
+    extract_tiles=fast.extract_tiles,
+    scatter_tiles_add=fast.scatter_tiles_add,
+    im2col=fast.im2col,
+    col2im=fast.col2im,
+    conv2d_gemm=conv2d_gemm,
+    conv2d_gemm_dw=fast.conv2d_gemm_dw,
+    conv2d_gemm_dcols=fast.conv2d_gemm_dcols,
+    winograd_forward=winograd_forward,
+    winograd_autograd=winograd_autograd,
+)

@@ -20,6 +20,17 @@ This backend keeps a *candidate space* per primitive and asks
 * **im2col GEMM** — the one-shot batched GEMM vs. column-chunked GEMMs that
   keep the hot panel cache-resident.
 
+The three hottest spaces — fused forward, fused autograd, im2col GEMM —
+additionally offer a ``{"kernel": "codegen"}`` candidate when
+:mod:`repro.kernels.codegen` can deliver a shape-specialized native kernel
+for the call geometry.  The kernel is built (or loaded from the on-disk
+object store) *before* the benchmark rounds, so :func:`decide` times the
+kernel, never the compile; the winner persists through the plan cache like
+any other choice.  Adopting a persisted codegen choice on a host where
+codegen has since become unavailable falls back to the default numpy
+variant at run time (and the autotune disk loader skips such records as
+clean misses before they are ever adopted).
+
 Every default choice executes *exactly* the fast backend's code, so with an
 empty store (``REPRO_AUTOTUNE=off``, or ``cached`` mode before any tuning)
 this backend is behaviourally identical to ``fast``.  Integer inputs (the
@@ -37,6 +48,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import compiled as _compiled
 from . import fast
 from .einsum_cache import cached_einsum
 from .registry import KernelBackend
@@ -54,6 +66,25 @@ def _autotune():
         from ..engine import autotune
         _AUTOTUNE = autotune
     return _AUTOTUNE
+
+
+_CODEGEN_CHOICE = {"kernel": "codegen"}
+
+
+def _offering_codegen(key: str) -> bool:
+    """Should this call try to *add* the codegen candidate to its space?
+
+    Only while a full-mode tuning pass is actually going to benchmark this
+    key: in ``cached``/``off`` mode (or once a winner is bound) building a
+    kernel nobody asked for would charge a multi-second compile to a serving
+    call.  Adopting an already-persisted codegen winner goes through the
+    ``_run_*`` dispatchers instead, which load straight from the object
+    store.
+    """
+    at = _autotune()
+    if at.get_mode() != "full":
+        return False
+    return at.lookup(key) is None
 
 
 # --------------------------------------------------------------------------- #
@@ -137,6 +168,12 @@ def _winograd_forward_batch(x_padded: np.ndarray, weight: np.ndarray,
 
 def _run_forward(choice: dict, x_padded, weight, transform, out_h, out_w,
                  w_r, out):
+    if choice.get("kernel") == "codegen":
+        res = _compiled.try_forward(x_padded, weight, transform,
+                                    out_h, out_w, w_r=w_r, out=out)
+        if res is not None:
+            return res
+        choice = _FWD_DEFAULT        # codegen no longer available: fall back
     if choice.get("kernel") == "batch":
         return _winograd_forward_batch(x_padded, weight, transform,
                                        out_h, out_w, w_r=w_r, out=out)
@@ -157,8 +194,12 @@ def winograd_forward(x_padded: np.ndarray, weight: np.ndarray, transform,
         w_r = fast.transform_weights_tap_major(weight, transform)
     key = _forward_key(x_padded.shape, weight.shape[0], transform.name,
                        x_padded.dtype)
+    candidates = _FWD_CANDIDATES
+    if _offering_codegen(key) and _compiled.prepare_forward(
+            x_padded, w_r, transform, out_h, out_w):
+        candidates = candidates + (_CODEGEN_CHOICE,)
     choice = _autotune().decide(
-        key, _FWD_CANDIDATES,
+        key, candidates,
         lambda c: _run_forward(c, x_padded, weight, transform, out_h, out_w,
                                w_r, out),
         _FWD_DEFAULT)
@@ -190,18 +231,30 @@ def winograd_autograd(x_padded: np.ndarray, weight: np.ndarray, transform,
                                       out_h, out_w)
     key = _autograd_key(x_padded.shape, weight.shape, transform.name,
                         x_padded.dtype)
+    candidates = _AG_CANDIDATES
+    if _offering_codegen(key) and _compiled.prepare_autograd(
+            x_padded, weight, transform, out_h, out_w):
+        candidates = candidates + (_CODEGEN_CHOICE,)
+
+    def _instantiate(choice: dict):
+        if choice.get("kernel") == "codegen":
+            res = _compiled.try_autograd(x_padded, weight, transform,
+                                         out_h, out_w)
+            if res is not None:
+                return res           # codegen no longer available: fall back
+            choice = _AG_DEFAULT
+        return fast.winograd_autograd(
+            x_padded, weight, transform, out_h, out_w,
+            block_bytes=int(choice["block_kb"]) * 1024)
 
     def run(choice: dict) -> None:
         # Benchmark the full training step: forward plus a backward pass on
-        # a same-shape gradient (the block size shapes both directions).
-        fwd, back = fast.winograd_autograd(
-            x_padded, weight, transform, out_h, out_w,
-            block_bytes=int(choice["block_kb"]) * 1024)
+        # a same-shape gradient (the choice shapes both directions).
+        fwd, back = _instantiate(choice)
         back(np.zeros(fwd.shape, dtype=fwd.dtype))
 
-    choice = _autotune().decide(key, _AG_CANDIDATES, run, _AG_DEFAULT)
-    return fast.winograd_autograd(x_padded, weight, transform, out_h, out_w,
-                                  block_bytes=int(choice["block_kb"]) * 1024)
+    choice = _autotune().decide(key, candidates, run, _AG_DEFAULT)
+    return _instantiate(choice)
 
 
 # --------------------------------------------------------------------------- #
@@ -287,6 +340,11 @@ def _gemm_key(w2d: np.ndarray, cols: np.ndarray) -> str:
 
 def _run_gemm(choice: dict, w2d: np.ndarray, cols: np.ndarray,
               out: np.ndarray | None) -> np.ndarray:
+    if choice.get("kernel") == "codegen":
+        res = _compiled.try_gemm(w2d, cols, out=out)
+        if res is not None:
+            return res
+        choice = _GEMM_DEFAULT       # codegen no longer available: fall back
     chunk = int(choice.get("col_chunk", 0))
     p = cols.shape[-1]
     if chunk <= 0 or chunk >= p:
@@ -304,8 +362,11 @@ def conv2d_gemm(w2d: np.ndarray, cols: np.ndarray,
     if not _is_float(w2d, cols):
         return fast.conv2d_gemm(w2d, cols, out=out)
     key = _gemm_key(w2d, cols)
+    candidates = _GEMM_CANDIDATES
+    if _offering_codegen(key) and _compiled.prepare_gemm(w2d, cols):
+        candidates = candidates + (_CODEGEN_CHOICE,)
     choice = _autotune().decide(
-        key, _GEMM_CANDIDATES,
+        key, candidates,
         lambda c: _run_gemm(c, w2d, cols, out),
         _GEMM_DEFAULT)
     return _run_gemm(choice, w2d, cols, out)

@@ -129,14 +129,22 @@ def _shm_worker_loop(job, in_name: str, out_name: str, conn, index: int = 0,
     Before compiling, the worker warms the autotune store from the shared
     on-disk plan cache — a worker serving the ``tuned`` backend (including a
     supervisor respawn) binds pre-measured kernel winners instead of running
-    benchmarks of its own.  The parent can query the resulting counters with
-    an ``("autotune_stats",)`` control message.
+    benchmarks of its own — and preloads any prebuilt codegen objects from
+    the shared object store, so adopting a winner that names a generated
+    kernel never triggers a compile (or a benchmark) inside a worker.  The
+    parent can query the resulting counters with an ``("autotune_stats",)``
+    control message; codegen counters ride along under a ``"codegen"`` key.
     """
     try:
         from ..engine import autotune as _autotune
         _autotune.warm_disk()
     except Exception:  # pragma: no cover - tuning must never block serving
         _autotune = None
+    try:
+        from ..kernels import codegen as _codegen
+        _codegen.warm_disk()
+    except Exception:  # pragma: no cover - codegen must never block serving
+        _codegen = None
     conv = job.compile()
     in_shm = _attach(in_name)
     out_shm = _attach(out_name)
@@ -206,6 +214,8 @@ def _shm_worker_loop(job, in_name: str, out_name: str, conn, index: int = 0,
                 _send(("attached",))
             elif tag == "autotune_stats":
                 stats = _autotune.stats_dict() if _autotune is not None else {}
+                stats["codegen"] = (_codegen.stats_dict()
+                                    if _codegen is not None else {})
                 _send(("autotune_stats", stats))
             elif tag == "stop":
                 break

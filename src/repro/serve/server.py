@@ -270,7 +270,16 @@ class Server:
         return out
 
     def stats(self) -> dict:
-        """Throughput, latency, and robustness counters snapshot."""
+        """Throughput, latency, and robustness counters snapshot.
+
+        Besides the serving counters, exposes the kernel-selection state of
+        this process: the autotune store counters (``"autotune"``), the plan
+        cache (``"plan_cache"``) and the codegen object store
+        (``"codegen_cache"``) — so which kernels serve and where they came
+        from (memory, disk, benchmark, compile) is observable per server.
+        Pool workers are separate processes with their own counters; query
+        those through ``ShmWorkerPool.autotune_stats()``.
+        """
         out = self.stats_.snapshot()
         out["queue_depth"] = self.batcher.pending()
         out["queue_high_watermark"] = self.batcher.high_watermark
@@ -278,6 +287,14 @@ class Server:
         out["shed"] = self.batcher.shed
         out["expired_in_queue"] = self.batcher.expired
         out["cancelled_skipped"] = self.batcher.cancelled_skipped
+        from ..engine import autotune, plan
+        from ..kernels import codegen
+        out["autotune"] = autotune.stats_dict()
+        pstats = plan.plan_cache_stats()
+        out["plan_cache"] = {"hits": pstats.hits, "misses": pstats.misses,
+                             "evictions": pstats.evictions,
+                             "size": pstats.size}
+        out["codegen_cache"] = codegen.stats_dict()
         return out
 
     # ------------------------------------------------------------------ #

@@ -15,6 +15,12 @@ from hypothesis import settings
 os.environ.setdefault("REPRO_PLAN_CACHE",
                       tempfile.mkdtemp(prefix="repro-plans-test-"))
 
+# Same isolation for the codegen object store — one shared tmp dir for the
+# whole session, so kernels built by one test are disk hits for the rest
+# instead of repeated compiles.
+os.environ.setdefault("REPRO_CODEGEN_CACHE",
+                      tempfile.mkdtemp(prefix="repro-codegen-test-"))
+
 # Keep hypothesis fast and deterministic for CI-style runs.
 settings.register_profile("repro", max_examples=25, deadline=None,
                           derandomize=True)
