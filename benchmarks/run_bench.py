@@ -12,6 +12,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--output PATH]
         [--serve-output PATH] [--repeats N] [--warmup N] [--smoke] [--check]
+        [--trace DIR]
 
 Acceptance numbers (same 4x32x32x32 input, 32 output channels, F4):
 
@@ -68,6 +69,19 @@ Training-layer numbers (PR 8, written to ``BENCH_train.json``):
   recorded alongside the ratio).
 * ``dp_train_supervision_overhead`` — the supervised 4-worker sharded step
   vs the same pool with supervision off; must stay <= 1.05x everywhere.
+
+Observability numbers (PR 10, written to ``BENCH_serve.json``):
+
+* ``obs_overhead_serve`` — steady-state ``CompiledModel`` inference with
+  ``repro.obs`` fully on (span tracing + per-plan kernel profiling) vs the
+  same model with observability off; must stay <= 1.05x — tracing a healthy
+  server may not tax it.
+
+``--trace DIR`` turns observability on for the whole run and writes one
+Chrome-trace JSON file per benchmark case into ``DIR`` (load them in
+Perfetto / ``chrome://tracing``).  The committed BENCH json files are
+generated *without* ``--trace`` so the published numbers stay untraced;
+the ``meta.obs`` block records which mode produced a given file.
 
 ``--smoke`` runs everything with tiny repeat counts and exits 0 regardless
 of the measured ratios — the CI plumbing check, not a perf gate.
@@ -211,6 +225,7 @@ def planned_vs_eager_cases(repeats: int, warmup: int) -> dict:
         print(f"{case_name:32s} " + "  ".join(
             f"{k}={v:.6f}" if k.endswith("_s") else f"{k}={v:.2f}x"
             for k, v in case.items()))
+        _maybe_trace(case_name)
     return results
 
 
@@ -466,11 +481,25 @@ def _paired_case(fast_fn, slow_fn, repeats: int, warmup: int,
     }
 
 
+# Set by main() when --trace DIR is given; every finished case then flushes
+# the span buffer into its own Chrome-trace file.
+_TRACE_DIR: str | None = None
+
+
+def _maybe_trace(name: str) -> None:
+    """Flush the span buffer accumulated by one case into DIR/<name>.json."""
+    if _TRACE_DIR is None:
+        return
+    from repro.obs import trace as _obs_trace
+    _obs_trace.export(os.path.join(_TRACE_DIR, f"{name}.json"), clear=True)
+
+
 def _print_case(name: str, case: dict) -> None:
     print(f"{name:32s} " + "  ".join(
         f"{k}={v:.6f}" if k.endswith("_s") else
         (f"{k}={v:.2f}x" if isinstance(v, float) else f"{k}={v}")
         for k, v in case.items()))
+    _maybe_trace(name)
 
 
 def _bind_per_layer_compiledconv(model) -> None:
@@ -547,6 +576,30 @@ def serve_cases(repeats: int, warmup: int) -> dict:
     case["speedup_served_vs_steps"] = steps_case["speedup_served_vs_steps"]
     results["served_model_f4"] = case
     _print_case("served_model_f4", case)
+
+    # -- observability overhead (PR 10) ------------------------------------- #
+    # The same steady-state CompiledModel with repro.obs fully on (span
+    # tracing into the ring buffer + per-plan kernel profiling through the
+    # wrapped backends) against itself with observability off.  Gated
+    # <= 1.05x like supervision: tracing a healthy server may not tax it.
+    from repro import obs
+
+    def run_without_obs():
+        # Explicitly off (not "whatever the global state is") so the baseline
+        # stays honest when the whole run is traced via --trace; both sides
+        # pay the same scope-toggle cost.
+        with obs.enabled_scope(False):
+            served.infer(batch)
+
+    def run_with_obs():
+        with obs.enabled_scope():
+            served.infer(batch)
+
+    case = _paired_case(run_without_obs, run_with_obs,
+                        repeats, warmup, "off_s", "obs_s",
+                        "overhead_obs_vs_off")
+    results["obs_overhead_serve"] = case
+    _print_case("obs_overhead_serve", case)
 
     # -- tuned-backend served model (PR 7) ---------------------------------- #
     # A deep-layer conv stack (64 channels at 16x16 — the geometry of a deep
@@ -729,6 +782,7 @@ def run_benchmarks(repeats: int, warmup: int) -> dict:
         print(f"{case_name:32s} " + "  ".join(
             f"{k}={v:.6f}" if k.endswith("_s") else f"{k}={v:.2f}x"
             for k, v in case.items()))
+        _maybe_trace(case_name)
     return results
 
 
@@ -813,13 +867,23 @@ def main(argv=None) -> int:
                         help="compare against the committed BENCH json files "
                              "(>15% regression fails) instead of overwriting "
                              "them")
+    parser.add_argument("--trace", metavar="DIR", default=None,
+                        help="enable repro.obs for the whole run and write "
+                             "one Chrome-trace JSON file per case into DIR")
     args = parser.parse_args(argv)
     if args.smoke:
         args.repeats = min(args.repeats, 3)
         args.warmup = min(args.warmup, 1)
 
+    from repro import obs
     from repro.engine import autotune, plan_cache_stats
     from repro.kernels import codegen, get_backend
+
+    if args.trace:
+        global _TRACE_DIR
+        os.makedirs(args.trace, exist_ok=True)
+        _TRACE_DIR = args.trace
+        obs.enable()
 
     baselines = {}
     if args.check:
@@ -850,7 +914,8 @@ def main(argv=None) -> int:
                                 "evictions": pc.evictions, "size": pc.size},
                     tuning_cache=autotune.stats_dict(),
                     codegen_available=codegen.available(),
-                    codegen_cache=codegen.stats_dict())
+                    codegen_cache=codegen.stats_dict(),
+                    obs=dict(obs.status(), trace_dir=args.trace))
 
     results = run_benchmarks(args.repeats, args.warmup)
     results.update(planned_vs_eager_cases(args.repeats, args.warmup))
@@ -907,6 +972,9 @@ def main(argv=None) -> int:
     overhead = serve_results.get("shm_pool_supervision_overhead", {}).get(
         "overhead_supervised_vs_bare")
     overhead_ok = overhead is not None and overhead <= 1.05
+    obs_overhead = serve_results.get("obs_overhead_serve", {}).get(
+        "overhead_obs_vs_off")
+    obs_overhead_ok = obs_overhead is not None and obs_overhead <= 1.05
     tuned_ratios = {name: case.get("speedup_tuned_vs_fast", 0.0)
                     for name, case in {**results, **serve_results}.items()
                     if name.startswith("tuned_")}
@@ -942,6 +1010,9 @@ def main(argv=None) -> int:
     if overhead is not None:
         print(f"supervision overhead:                 {overhead:.3f}x "
               "(target <= 1.05x)")
+    if obs_overhead is not None:
+        print(f"observability overhead:               {obs_overhead:.3f}x "
+              "(target <= 1.05x)")
     print("tuned vs fast:                        "
           + "  ".join(f"{name}={r:.2f}x" for name, r in tuned_ratios.items())
           + "  (targets: all >= 1.0x, best forward >= 1.15x)")
@@ -963,6 +1034,7 @@ def main(argv=None) -> int:
         return 0
     return 0 if (speedup >= 2.0 and planned >= 1.3
                  and served >= 1.2 and pool_ok and overhead_ok
+                 and obs_overhead_ok
                  and tuned_ok and tuned_fwd >= 1.15 and compiled_ok
                  and dp_ok and train_overhead_ok) else 1
 

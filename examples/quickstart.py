@@ -15,7 +15,10 @@ This walks through the paper's core idea on a single layer:
    (planning each distinct layer shape once, like the engine does);
 6. training on the same stack is fault-tolerant: crash-safe checkpoints
    resume bit-exactly, and gradient steps shard across the supervised
-   worker pool with inline degradation when the pool is lost.
+   worker pool with inline degradation when the pool is lost;
+7. everything above is observable: ``repro.obs`` traces spans across
+   processes onto one timeline, and attributes kernel wall time per layer
+   plan — free when off, one env var (``REPRO_OBS=on``) to turn on.
 
 Run with:  python examples/quickstart.py
 """
@@ -190,6 +193,23 @@ def main() -> None:
 
     # --- 6. fault-tolerant training ------------------------------------------
     fault_tolerant_training()
+
+    # --- 7. observability -----------------------------------------------------
+    # obs.enable() (or REPRO_OBS=on) turns on span tracing + kernel
+    # profiling everywhere; both are free when off.  Re-running the compiled
+    # layer now attributes its kernel wall time per plan, and the recorded
+    # spans export as Chrome trace JSON (obs.export_trace / REPRO_TRACE).
+    from repro import obs
+    with obs.enabled_scope():
+        compiled(x)
+        profile = obs.profile.report()
+        n_events = len(obs.trace.events_snapshot())
+    label, block = next(iter(profile.items()))
+    prim = next(iter(block["primitives"].values()))
+    print(f"\n[7] observability: {n_events} trace events recorded; kernel "
+          f"time attributed per plan:\n    {label}\n    -> "
+          f"{prim['calls']} call(s), {block['total_s'] * 1e3:.2f} ms total "
+          f"(obs.export_trace(path) writes the Perfetto timeline)")
 
     print("\nNext: whole-model serving — compilation "
           "(compile_model(..., autotune=\"cached\") reuses\nthe persisted "

@@ -28,15 +28,22 @@ Walks the `repro.serve` subsystem end to end:
 4. **Fault injection** — a scripted ``FaultPlan`` SIGKILLs and corrupts
    workers mid-batch; the supervisor respawns them, retries their chunks,
    and the recovered results are bit-identical to a fault-free run.
+5. **Observability** — ``repro.obs`` traces the same traffic end to end
+   (worker-side kernel spans stitched onto the parent's timeline over the
+   control pipe), exports a Chrome-trace file for Perfetto, and attributes
+   kernel wall time per layer plan via ``Server.stats()["profile"]``.
 
 Run with:  PYTHONPATH=src python examples/serve_demo.py
 """
 
+import os
+import tempfile
 import threading
 import time
 
 import numpy as np
 
+from repro import obs
 from repro.engine import BatchRunner, ConvJob, autotune
 from repro.kernels import codegen
 from repro.models.resnet_cifar import resnet_tiny
@@ -150,6 +157,37 @@ def main() -> None:
               f"({stats['live_workers']}/{stats['num_workers']} workers)")
         print(f"    recovered result bit-identical to fault-free run: "
               f"{np.array_equal(recovered, expected)}")
+
+    # --- 5. observability: one stitched timeline + per-plan profiling --------
+    # REPRO_OBS=on (or obs.enable()) turns on span tracing and kernel
+    # profiling everywhere at once; a request served through the shm pool
+    # renders as a single timeline — queue wait, batch assembly, dispatch,
+    # and the per-layer kernel spans recorded *inside* the workers, shipped
+    # back over the control pipe.  REPRO_TRACE=<path> exports at exit.
+    print("\n[5] observability (repro.obs):")
+    with obs.enabled_scope():
+        with ShmWorkerPool(job, num_workers=2) as pool:
+            pool.run(big, chunk_size=4)
+        with Server(compiled, max_batch_size=8, max_delay_ms=2.0) as server:
+            for image in images[:8]:
+                server.submit(image)
+            server.close()
+            stats = server.stats()
+        events = obs.trace.events_snapshot()
+        trace_path = os.path.join(tempfile.gettempdir(), "serve_demo_trace.json")
+        obs.export_trace(trace_path)
+    pids = {e[5] for e in events}
+    print(f"    {len(events)} events from {len(pids)} processes on one "
+          f"monotonic timeline -> {trace_path}")
+    print(f"    (open in https://ui.perfetto.dev or chrome://tracing)")
+    for label, block in list(stats["profile"].items())[:3]:
+        total_ms = block["total_s"] * 1e3
+        prims = ", ".join(f"{name} x{p['calls']}"
+                          for name, p in block["primitives"].items())
+        print(f"    {total_ms:7.2f} ms  {label}  [{prims}]")
+    print(f"    Server.stats() is one registry snapshot: cache blocks "
+          + ", ".join(f"{name}={stats[name]['hits']} hits"
+                      for name in ("autotune", "plan_cache", "codegen_cache")))
 
 
 if __name__ == "__main__":

@@ -35,11 +35,36 @@ import numpy as np
 
 from ..kernels import KernelBackend, get_backend
 from ..nn.tensor import Tensor, as_tensor, is_grad_enabled
+from ..obs import profile as _obs_profile
+from ..obs import trace as _obs_trace
 from ..winograd.transforms import WinogradTransform, get_transform
 from .arena import current_arena
 from .plan import LayerPlan, lower_conv2d, lower_winograd
 
 __all__ = ["Executor", "CompiledConv", "execute", "execute_tensor"]
+
+
+def _plan_backend(plan: LayerPlan) -> KernelBackend:
+    """The backend to execute ``plan`` with.
+
+    Normally just ``plan.backend``; with :mod:`repro.obs.profile` enabled
+    it is the same backend with every primitive wrapped to attribute wall
+    time to this plan.  Disabled cost: one module-flag check.
+    """
+    if _obs_profile._ENABLED:
+        return _obs_profile.backend_for(plan)
+    return plan.backend
+
+
+def layer_span(plan: LayerPlan, phase: str = "conv"):
+    """Trace span for one layer execution (no-op when tracing is off)."""
+    if not _obs_trace._ENABLED:
+        return _obs_trace.NULL
+    t = plan.transform
+    return _obs_trace.span(
+        f"{phase}:{'F%dx%d' % (t.m, t.r) if t is not None else 'im2col'}",
+        cat="kernel", kind=plan.kind, in_shape=str(plan.in_shape),
+        weight=str(plan.weight_shape), backend=plan.backend.name)
 
 
 # --------------------------------------------------------------------------- #
@@ -93,7 +118,7 @@ def _winograd_forward_data(plan: LayerPlan, padded: np.ndarray,
                            w_r: np.ndarray | None = None,
                            weight_wino: np.ndarray | None = None) -> np.ndarray:
     """Assembled Winograd output (no bias) from the already-padded input."""
-    be, t = plan.backend, plan.transform
+    be, t = _plan_backend(plan), plan.transform
     if be.winograd_forward is not None:
         if w_r is not None:
             return be.winograd_forward(padded, weight, t, plan.out_h,
@@ -130,7 +155,7 @@ def _embed_output_grad(plan: LayerPlan, grad: np.ndarray) -> np.ndarray:
 
 def _im2col_forward_data(plan: LayerPlan, x: np.ndarray, w2d: np.ndarray
                          ) -> tuple[np.ndarray, np.ndarray]:
-    be = plan.backend
+    be = _plan_backend(plan)
     kh, kw = plan.weight_shape[2], plan.weight_shape[3]
     cols = be.im2col(x, (kh, kw), plan.stride, plan.padding)
     out = be.conv2d_gemm(w2d, cols).reshape(plan.out_shape)
@@ -151,14 +176,15 @@ def execute(plan: LayerPlan, x: np.ndarray, weight: np.ndarray,
     :class:`CompiledConv` so bound layers skip the weight transform.
     """
     cout = plan.weight_shape[0]
-    if plan.kind == "winograd":
-        out = _winograd_forward_data(plan, _pad_input(plan, x), weight,
-                                     w_r=w_r, weight_wino=weight_wino)
-    else:
-        w2d = weight.reshape(cout, -1)
-        out, _ = _im2col_forward_data(plan, x, w2d)
-    if bias is not None:
-        out = out + bias.reshape(1, cout, 1, 1)
+    with layer_span(plan):
+        if plan.kind == "winograd":
+            out = _winograd_forward_data(plan, _pad_input(plan, x), weight,
+                                         w_r=w_r, weight_wino=weight_wino)
+        else:
+            w2d = weight.reshape(cout, -1)
+            out, _ = _im2col_forward_data(plan, x, w2d)
+        if bias is not None:
+            out = out + bias.reshape(1, cout, 1, 1)
     return out
 
 
@@ -167,7 +193,7 @@ def execute(plan: LayerPlan, x: np.ndarray, weight: np.ndarray,
 # --------------------------------------------------------------------------- #
 def _winograd_tensor(plan: LayerPlan, x: Tensor, weight: Tensor,
                      bias: Tensor | None) -> Tensor:
-    be, t = plan.backend, plan.transform
+    be, t = _plan_backend(plan), plan.transform
     parents = (x, weight) if bias is None else (x, weight, bias)
     needs_grad = is_grad_enabled() and any(p.requires_grad for p in parents)
     padded = _pad_input_workspace(plan, x.data, slot=weight)
@@ -231,7 +257,7 @@ def _winograd_tensor(plan: LayerPlan, x: Tensor, weight: Tensor,
 
 def _im2col_tensor(plan: LayerPlan, x: Tensor, weight: Tensor,
                    bias: Tensor | None) -> Tensor:
-    be = plan.backend
+    be = _plan_backend(plan)
     cout = plan.weight_shape[0]
     w2d = weight.data.reshape(cout, -1)
     # Pre-pad through the ambient arena (when one is installed) so the
@@ -267,9 +293,10 @@ def execute_tensor(plan: LayerPlan, x, weight, bias=None) -> Tensor:
     weight = as_tensor(weight)
     if bias is not None:
         bias = as_tensor(bias)
-    if plan.kind == "winograd":
-        return _winograd_tensor(plan, x, weight, bias)
-    return _im2col_tensor(plan, x, weight, bias)
+    with layer_span(plan, "conv_autograd"):
+        if plan.kind == "winograd":
+            return _winograd_tensor(plan, x, weight, bias)
+        return _im2col_tensor(plan, x, weight, bias)
 
 
 # --------------------------------------------------------------------------- #
@@ -343,14 +370,15 @@ class CompiledConv:
         x = np.asarray(x)
         plan = self.plan_for(x.shape)
         cout = self.weight.shape[0]
-        if self.kind == "winograd":
-            out = _winograd_forward_data(plan, _pad_input(plan, x), self.weight,
-                                         w_r=self._w_r,
-                                         weight_wino=self._weight_wino)
-        else:
-            out, _ = _im2col_forward_data(plan, x, self._w2d)
-        if self.bias is not None:
-            out = out + self.bias.reshape(1, cout, 1, 1)
+        with layer_span(plan):
+            if self.kind == "winograd":
+                out = _winograd_forward_data(plan, _pad_input(plan, x),
+                                             self.weight, w_r=self._w_r,
+                                             weight_wino=self._weight_wino)
+            else:
+                out, _ = _im2col_forward_data(plan, x, self._w2d)
+            if self.bias is not None:
+                out = out + self.bias.reshape(1, cout, 1, 1)
         return out
 
 

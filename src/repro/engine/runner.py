@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import trace as _trace
 from .executor import CompiledConv
 from .plan import lower_conv2d, lower_winograd
 
@@ -95,6 +96,8 @@ _WORKER_CONV: CompiledConv | None = None
 
 def _init_worker(job: ConvJob) -> None:
     global _WORKER_CONV
+    # Pickle-pool workers never write the parent's REPRO_TRACE file.
+    _trace.suppress_export()
     _WORKER_CONV = job.compile()
 
 
@@ -186,6 +189,7 @@ class BatchRunner:
             self._shm_pool.close()
             self._shm_pool = None
         self.transport = "inline"
+        _trace.instant("runner.degraded_inline", cat="fault")
 
     # ------------------------------------------------------------------ #
     def run(self, x: np.ndarray) -> np.ndarray:
@@ -195,20 +199,22 @@ class BatchRunner:
             # Empty batch: no shards, no worker round trips — the inline
             # executor already produces the correctly-shaped empty output.
             return self._local_conv()(x)
-        if self._shm_pool is not None:
-            from ..serve.errors import PoolUnavailable
-            try:
-                return self._shm_pool.run(x, chunk_size=self.chunk_size)
-            except PoolUnavailable:
-                self._degrade_inline()
+        with _trace.span("runner.run", cat="pool", transport=self.transport,
+                         batch=int(x.shape[0])):
+            if self._shm_pool is not None:
+                from ..serve.errors import PoolUnavailable
+                try:
+                    return self._shm_pool.run(x, chunk_size=self.chunk_size)
+                except PoolUnavailable:
+                    self._degrade_inline()
+                    return self._local_conv()(x)
+            if self._pool is None:
                 return self._local_conv()(x)
-        if self._pool is None:
-            return self._local_conv()(x)
-        n = x.shape[0]
-        chunk = self.chunk_size or -(-n // self.num_workers)
-        chunks = [x[i:i + chunk] for i in range(0, n, chunk)]
-        outs = self._pool.map(_run_chunk, chunks)
-        return np.concatenate(outs, axis=0)
+            n = x.shape[0]
+            chunk = self.chunk_size or -(-n // self.num_workers)
+            chunks = [x[i:i + chunk] for i in range(0, n, chunk)]
+            outs = self._pool.map(_run_chunk, chunks)
+            return np.concatenate(outs, axis=0)
 
     def map(self, inputs) -> list[np.ndarray]:
         """A stream of independent input arrays (one result per input)."""

@@ -112,6 +112,27 @@ class KernelBackend:
     # "compose the primitives above".
     winograd_autograd: Callable | None = None
 
+    def primitives(self) -> list[str]:
+        """Names of the callable members this backend provides."""
+        from dataclasses import fields
+        return [f.name for f in fields(self)
+                if f.name != "name" and getattr(self, f.name) is not None]
+
+    def instrumented(self, wrap: Callable[[str, Callable], Callable]
+                     ) -> "KernelBackend":
+        """A copy of this backend with every primitive passed through ``wrap``.
+
+        ``wrap(primitive_name, fn)`` must return a callable with ``fn``'s
+        signature.  This is the dispatch-path seam :mod:`repro.obs.profile`
+        uses to attribute per-primitive wall time to a plan without the
+        executor knowing anything about profiling; optional members that
+        are ``None`` stay ``None``, so feature probes
+        (``be.winograd_forward is not None``) behave identically.
+        """
+        from dataclasses import replace
+        return replace(self, **{name: wrap(name, getattr(self, name))
+                                for name in self.primitives()})
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"KernelBackend({self.name!r})"
 

@@ -1,0 +1,98 @@
+"""``repro.obs`` — tracing, metrics, and kernel profiling.
+
+Three pillars (see the submodule docstrings for design detail):
+
+* :mod:`repro.obs.trace` — low-overhead span tracer with ring-buffer
+  storage, cross-process stitching over the shm pool's control pipe, and
+  Chrome-trace-event export (Perfetto / ``chrome://tracing``).
+* :mod:`repro.obs.metrics` — process-wide metrics registry (counters,
+  gauges, log-bucketed histograms) that the kernel-selection subsystems
+  register collector blocks into; ``Server.stats()`` is one registry
+  snapshot.
+* :mod:`repro.obs.profile` — per-plan, per-primitive kernel wall-time
+  attribution to the backend/candidate that ran.
+
+Everything is **off by default** and free when off.  Enable with
+``REPRO_OBS=on`` in the environment (both tracing and profiling), or
+programmatically::
+
+    from repro import obs
+
+    obs.enable()
+    ...  # serve / train / run kernels
+    obs.export_trace("trace.json")     # open in https://ui.perfetto.dev
+    print(obs.profile.report())
+    obs.disable()
+
+``REPRO_TRACE=<path>`` additionally exports the trace buffer at process
+exit.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+from . import metrics, profile, trace
+from .metrics import REGISTRY, Counter, Gauge, Histogram, LatencyWindow
+from .trace import ENV_OBS, ENV_TRACE, instant, span
+
+__all__ = [
+    "trace", "metrics", "profile",
+    "REGISTRY", "Counter", "Gauge", "Histogram", "LatencyWindow",
+    "span", "instant",
+    "ENV_OBS", "ENV_TRACE",
+    "enabled", "enable", "disable", "enabled_scope",
+    "export_trace", "status",
+]
+
+
+def enabled() -> bool:
+    """True when observability (tracing + profiling) is on."""
+    return trace.enabled()
+
+
+def enable() -> None:
+    """Turn on tracing and kernel profiling for this process."""
+    trace.enable()
+    profile.enable()
+
+
+def disable() -> None:
+    trace.disable()
+    profile.disable()
+
+
+@contextlib.contextmanager
+def enabled_scope(on: bool = True):
+    """Temporarily force observability on (or off) within a block."""
+    was_trace, was_profile = trace.enabled(), profile.enabled()
+    (enable if on else disable)()
+    try:
+        yield
+    finally:
+        (trace.enable if was_trace else trace.disable)()
+        (profile.enable if was_profile else profile.disable)()
+
+
+def export_trace(path: str | None = None, *, clear: bool = False) -> int:
+    """Export the trace ring buffer as Chrome trace JSON.
+
+    ``path`` defaults to ``REPRO_TRACE``.  Returns the event count.
+    """
+    path = path or os.environ.get(ENV_TRACE)
+    if not path:
+        raise ValueError(
+            "no export path: pass one or set the REPRO_TRACE env var")
+    return trace.export(path, clear=clear)
+
+
+def status() -> dict:
+    """Current obs state, recorded into BENCH meta by the bench harness."""
+    return {
+        "enabled": trace.enabled(),
+        "profiling": profile.enabled(),
+        "trace_path": os.environ.get(ENV_TRACE) or None,
+        "events_buffered": len(trace.events_snapshot()),
+        "events_dropped": trace.dropped(),
+    }

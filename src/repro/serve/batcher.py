@@ -42,6 +42,7 @@ from collections import OrderedDict, deque
 
 import numpy as np
 
+from ..obs import trace as _trace
 from .errors import (RequestCancelled, RequestTimeout, ServerOverloaded,
                      deadline_clock)
 
@@ -54,6 +55,9 @@ class InferenceRequest:
     def __init__(self, x: np.ndarray, deadline_s: float | None = None):
         self.x = np.asarray(x)
         self.submitted_at = time.perf_counter()
+        #: Monotonic submit time for the tracer's queue-wait events (the
+        #: system-wide clock the whole trace timeline runs on).
+        self.mono_submitted = deadline_clock() if _trace._ENABLED else None
         #: Absolute monotonic deadline (None = no deadline).
         self.deadline: float | None = (None if deadline_s is None
                                        else deadline_clock() + deadline_s)
@@ -161,6 +165,8 @@ class MicroBatcher:
             if self.max_pending is not None and \
                     self._pending >= self.max_pending:
                 self.shed += 1
+                _trace.instant("serve.shed", cat="fault",
+                               pending=self._pending, limit=self.max_pending)
                 raise ServerOverloaded("micro-batcher queue full",
                                        pending=self._pending,
                                        limit=self.max_pending)
@@ -214,6 +220,9 @@ class MicroBatcher:
                 continue
             if request.expired(mono_now):
                 self.expired += 1
+                _trace.instant("serve.expired_in_queue", cat="fault",
+                               waited_ms=(mono_now - request.mono_submitted)
+                               * 1e3 if request.mono_submitted else None)
                 request.set_error(RequestTimeout(
                     "request expired in queue before dispatch",
                     deadline=request.deadline, now=mono_now))
@@ -222,6 +231,17 @@ class MicroBatcher:
         self._pending -= popped
         if not queue:
             del self._queues[key]
+        if _trace._ENABLED and batch:
+            # One queue-wait window per request, on the shared monotonic
+            # timeline (submit -> batch assembly), plus the assembly marker.
+            for request in batch:
+                if request.mono_submitted is not None:
+                    _trace.complete("serve.queue_wait", request.mono_submitted,
+                                    mono_now - request.mono_submitted,
+                                    cat="serve", shape=str(key[0]))
+            _trace.complete("serve.batch_assembly", mono_now,
+                            deadline_clock() - mono_now, cat="serve",
+                            batch=len(batch), shape=str(key[0]))
         return batch
 
     def next_batch(self, timeout: float | None = None

@@ -45,7 +45,10 @@ import numpy as np
 
 from .. import engine
 from ..engine.arena import ArenaPool, WorkspaceArena
+from ..engine.executor import _plan_backend, layer_span
 from ..kernels import KernelBackend, get_backend
+from ..obs import profile as _obs_profile
+from ..obs import trace as _obs_trace
 from ..nn import layers as L
 from ..nn.module import Module, ModuleList, Sequential
 from ..nn.tensor import Tensor, no_grad
@@ -117,6 +120,7 @@ class _ConvStep(_Step):
         self._w2d = None            # (Cout, Cin*kh*kw) GEMM weights (im2col)
         self._fused_out = False     # backend's winograd_forward accepts out=
         self._gemm_out = False      # backend's conv2d_gemm accepts out=
+        self._profiled_labels: set[str] = set()   # plans seen while profiling
 
     # -- binding ---------------------------------------------------------- #
     def _bind(self, be: KernelBackend) -> None:
@@ -166,14 +170,18 @@ class _ConvStep(_Step):
     def run(self, x: np.ndarray, arena: WorkspaceArena | None) -> np.ndarray:
         be = self._backend()
         plan = self.plan_for(x.shape, be)
+        if _obs_profile._ENABLED:
+            self._profiled_labels.add(_obs_profile.plan_label(plan))
         if arena is None:
             out = engine.execute(plan, x, self.weight, w_r=self._w_r,
                                  weight_wino=self._weight_wino)
             return self._finish(out, owned=True)
         if self.kind == "winograd" and self._w_r is not None and self._fused_out:
-            return self._winograd_arena(plan, x, be, arena)
+            with layer_span(plan):
+                return self._winograd_arena(plan, x, _plan_backend(plan), arena)
         if self.kind == "im2col" and self._gemm_out:
-            return self._im2col_arena(plan, x, be, arena)
+            with layer_span(plan):
+                return self._im2col_arena(plan, x, _plan_backend(plan), arena)
         # Composed fallback (e.g. reference backend): correctness over reuse.
         out = engine.execute(plan, x, self.weight, w_r=self._w_r,
                              weight_wino=self._weight_wino)
@@ -626,17 +634,19 @@ class CompiledModel:
 
         check_deadline()
         out = np.asarray(x, dtype=np.float64)
-        if self.arena_pool is None:
-            for step in self.steps:
-                out = step.run(out, None)
-                check_deadline()
-            return out
-        with self.arena_pool.lease() as arena:
-            for step in self.steps:
-                out = step.run(out, arena)
-                check_deadline()
-            if isinstance(out, np.ndarray) and arena.owns(out):
-                out = out.copy()     # never hand out live arena buffers
+        with _obs_trace.span("model.infer", cat="serve",
+                             batch=int(out.shape[0]) if out.ndim else 0):
+            if self.arena_pool is None:
+                for step in self.steps:
+                    out = step.run(out, None)
+                    check_deadline()
+                return out
+            with self.arena_pool.lease() as arena:
+                for step in self.steps:
+                    out = step.run(out, arena)
+                    check_deadline()
+                if isinstance(out, np.ndarray) and arena.owns(out):
+                    out = out.copy()     # never hand out live arena buffers
         return out
 
     __call__ = infer
@@ -654,6 +664,27 @@ class CompiledModel:
     def describe(self) -> list[str]:
         """One human-readable line per compiled step."""
         return [step.describe() for step in self.steps]
+
+    def profile(self) -> dict:
+        """Kernel-profile report for the plans this model has executed.
+
+        Requires observability (``repro.obs``) to be enabled while batches
+        run; returns the process-wide :func:`repro.obs.profile.report`
+        filtered to the plans this model's convolution steps used — per
+        primitive calls / wall time, attributed to the backend and (for
+        tuned plans) the autotuner candidate that ran.
+        """
+        from ..obs import profile as obs_profile
+        labels: set[str] = set()
+        stack = list(self.steps)
+        while stack:
+            step = stack.pop()
+            labels |= getattr(step, "_profiled_labels", set())
+            stack.extend(getattr(step, "body", ()))
+            stack.extend(getattr(step, "shortcut", ()))
+        report = obs_profile.report()
+        return {label: block for label, block in report.items()
+                if label in labels}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CompiledModel({len(self.steps)} steps)"

@@ -11,8 +11,9 @@ with ``multiprocessing.shared_memory``:
   region** (one shm segment the worker writes results into), so array bytes
   cross the process boundary as a single ``memcpy`` each way;
 * the control plane stays on a pipe, but carries only tiny tuples —
-  ``("run", offset, shape, dtype)`` / ``("ok", shape, dtype, crc)`` — never
-  array data;
+  ``("run", offset, shape, dtype)`` / ``("ok", shape, dtype, crc, trace)`` —
+  never array data (``trace`` is the worker's drained span events when
+  :mod:`repro.obs` tracing is on, ``None`` otherwise);
 * workers are **long-lived**: each compiles its :class:`~repro.engine.ConvJob`
   once at startup (plan cache, transformed weights) and serves frames until
   :meth:`ShmWorkerPool.close`, so steady-state requests hit only warm caches.
@@ -68,6 +69,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from ..obs import trace as _trace
 from .errors import (PoolUnavailable, RequestTimeout, ServingError,
                      WorkerCrashed, WorkerJobError, deadline_clock)
 
@@ -134,7 +136,20 @@ def _shm_worker_loop(job, in_name: str, out_name: str, conn, index: int = 0,
     kernel never triggers a compile (or a benchmark) inside a worker.  The
     parent can query the resulting counters with an ``("autotune_stats",)``
     control message; codegen counters ride along under a ``"codegen"`` key.
+
+    With :mod:`repro.obs` tracing enabled, the worker records spans locally
+    (a ``worker.job`` span around each compute, plus whatever the executor
+    records inside it) and ships the drained events back as the last element
+    of each reply tuple — the parent absorbs them into its own buffer, and
+    because both sides stamp events with the system-wide monotonic clock the
+    result is one stitched timeline across processes.
     """
+    # Only the coordinating process writes REPRO_TRACE; and under the fork
+    # start method this child inherited a copy of the parent's event buffer,
+    # which must not be shipped back as if it were worker activity.
+    _trace.suppress_export()
+    if _trace._ENABLED:
+        _trace.reset()
     try:
         from ..engine import autotune as _autotune
         _autotune.warm_disk()
@@ -185,7 +200,10 @@ def _shm_worker_loop(job, in_name: str, out_name: str, conn, index: int = 0,
                     try:
                         x = np.ndarray(shape, dtype=np.dtype(dtype_str),
                                        buffer=in_shm.buf, offset=offset)
-                        y = np.ascontiguousarray(conv(x))
+                        with _trace.span("worker.job", cat="worker",
+                                         worker=index, step=step,
+                                         shape=str(tuple(shape))):
+                            y = np.ascontiguousarray(conv(x))
                         crc = zlib.crc32(y.tobytes()) if checksum else None
                         out_view = np.ndarray(y.shape, dtype=y.dtype,
                                               buffer=out_shm.buf)
@@ -198,10 +216,12 @@ def _shm_worker_loop(job, in_name: str, out_name: str, conn, index: int = 0,
                             time.sleep(fault.seconds)
                         if fault is not None and fault.kind == "drop":
                             continue           # no reply, no more heartbeats
-                        _send(("ok", y.shape, y.dtype.str, crc))
+                        _send(("ok", y.shape, y.dtype.str, crc,
+                               _trace.drain() if _trace._ENABLED else None))
                     except Exception as exc:   # surface, don't kill the pool
                         _send(("err", type(exc).__name__, str(exc),
-                               traceback.format_exc()))
+                               traceback.format_exc(),
+                               _trace.drain() if _trace._ENABLED else None))
                 finally:
                     busy.clear()
             elif tag == "attach_in":
@@ -276,13 +296,14 @@ class _InputRing:
 class _Job:
     """One unit of pool work: an input chunk, its sink, and retry state."""
 
-    __slots__ = ("index", "array", "sink", "retries")
+    __slots__ = ("index", "array", "sink", "retries", "sent_at")
 
     def __init__(self, index: int, array: np.ndarray, sink):
         self.index = index
         self.array = array
         self.sink = sink
         self.retries = 0
+        self.sent_at: float | None = None   # dispatch time (tracing only)
 
 
 class _Worker:
@@ -387,6 +408,8 @@ class _Worker:
             self.ring.pop()
             raise
         self.last_seen = deadline_clock()
+        if _trace._ENABLED:
+            job.sent_at = deadline_clock()
         return True
 
     def receive(self) -> tuple[str, object]:
@@ -408,14 +431,24 @@ class _Worker:
         job = self.inflight.popleft()
         self.ring.pop()
         if tag == "err":
-            _, exc_type, message, tb = msg
+            _, exc_type, message, tb, events = msg
+            if events:
+                _trace.absorb(events)
             return ("err", (job, exc_type, message, tb))
-        _, shape, dtype_str, crc = msg
+        _, shape, dtype_str, crc, events = msg
+        if events:
+            _trace.absorb(events)
         out = np.ndarray(shape, dtype=np.dtype(dtype_str),
                          buffer=self.out_shm.buf)
         if crc is not None and zlib.crc32(out.tobytes()) != crc:
             return ("corrupt", job)
         job.sink(out)                      # sink copies out of the segment
+        if _trace._ENABLED and job.sent_at is not None:
+            # Dispatch -> reply window, parent-side: brackets the worker's
+            # own compute span on the shared timeline.
+            _trace.complete("pool.job", job.sent_at,
+                            deadline_clock() - job.sent_at, cat="pool",
+                            job=job.index, worker=self.index)
         return ("ok", job)
 
     # -- lifecycle -------------------------------------------------------- #
@@ -491,6 +524,8 @@ class WorkerSupervisor:
         worker.dead = True
         worker.destroy()
         self.deaths += 1
+        _trace.instant("pool.worker_death", cat="fault", worker=worker.index,
+                       reason=reason, orphaned_jobs=len(orphans))
         return orphans
 
     def revive(self, worker: _Worker) -> _Worker | None:
@@ -519,7 +554,11 @@ class WorkerSupervisor:
                 continue
             pool._workers[slot] = fresh
             self.restarts += 1
+            _trace.instant("pool.respawn", cat="fault", worker=worker.index)
             return fresh
+        _trace.instant("pool.respawn_failed", cat="fault",
+                       worker=worker.index,
+                       attempts=self.max_respawn_attempts)
         return None
 
     def backoff_for(self, job: _Job) -> float:
@@ -729,6 +768,8 @@ class ShmWorkerPool:
                         f"no live workers left to retry job {job_.index} "
                         f"({reason})")
                 sup.retried_jobs += 1
+                _trace.instant("pool.retry", cat="fault", job=job_.index,
+                               attempt=job_.retries, reason=reason)
                 time.sleep(sup.backoff_for(job_))
                 target = min(live,
                              key=lambda w: len(w.queue) + len(w.inflight))
@@ -824,6 +865,8 @@ class ShmWorkerPool:
             w.queue.clear()
         for w in list(self._workers):
             if not w.dead and w.inflight:
+                _trace.instant("pool.deadline_abort", cat="fault",
+                               worker=w.index, inflight=len(w.inflight))
                 self._supervisor.bury(w, "deadline expired")
                 self._supervisor.revive(w)
 
@@ -879,7 +922,9 @@ class ShmWorkerPool:
             piece = x[start:start + chunk]
             job = _Job(idx, piece, make_sink(start, piece.shape[0]))
             live[idx % len(live)].queue.append(job)
-        self._drive(deadline=deadline)
+        with _trace.span("pool.run", cat="pool", jobs=len(starts),
+                         batch=int(n)):
+            self._drive(deadline=deadline)
         return result
 
     def map(self, inputs, deadline: float | None = None) -> list[np.ndarray]:
@@ -898,7 +943,8 @@ class ShmWorkerPool:
 
         for i, arr in enumerate(arrays):
             live[i % len(live)].queue.append(_Job(i, arr, make_sink(i)))
-        self._drive(deadline=deadline)
+        with _trace.span("pool.map", cat="pool", jobs=len(arrays)):
+            self._drive(deadline=deadline)
         return results
 
     # ------------------------------------------------------------------ #

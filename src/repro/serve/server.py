@@ -49,6 +49,9 @@ import time
 
 import numpy as np
 
+from ..obs import metrics as _metrics
+from ..obs import profile as _obs_profile
+from ..obs import trace as _trace
 from .batcher import InferenceRequest, MicroBatcher
 from .errors import PoolUnavailable, RequestTimeout, deadline_clock
 
@@ -64,12 +67,17 @@ def _accepts_deadline(fn) -> bool:
 
 
 class ServerStats:
-    """Rolling latency/throughput counters (thread-safe)."""
+    """Rolling latency/throughput counters (thread-safe).
+
+    Latencies live in a preallocated :class:`repro.obs.LatencyWindow` ring
+    (an array store plus an index bump per sample — no growing list, no
+    periodic slice), and both recording entry points — batched and direct —
+    funnel through one :meth:`_record` path.
+    """
 
     def __init__(self, window: int = 10000):
         self._lock = threading.Lock()
-        self._window = int(window)
-        self._latencies: list[float] = []
+        self._latencies = _metrics.LatencyWindow(window)
         self.requests = 0
         self.batches = 0
         self.batched_requests = 0
@@ -77,23 +85,23 @@ class ServerStats:
         self.fallbacks = 0
         self._started_at = time.perf_counter()
 
-    def record_batch(self, requests: list[InferenceRequest]) -> None:
+    def _record(self, n_requests: int, latencies, *, batched: bool) -> None:
+        """The single recording path shared by batch and direct traffic."""
         with self._lock:
-            self.batches += 1
-            self.batched_requests += len(requests)
-            self.requests += len(requests)
-            for request in requests:
-                if request.latency_s is not None:
-                    self._latencies.append(request.latency_s)
-            if len(self._latencies) > self._window:
-                del self._latencies[:-self._window]
+            self.requests += int(n_requests)
+            if batched:
+                self.batches += 1
+                self.batched_requests += int(n_requests)
+            for latency_s in latencies:
+                self._latencies.record(latency_s)
+
+    def record_batch(self, requests: list[InferenceRequest]) -> None:
+        self._record(len(requests),
+                     [r.latency_s for r in requests if r.latency_s is not None],
+                     batched=True)
 
     def record_direct(self, batch_size: int, latency_s: float) -> None:
-        with self._lock:
-            self.requests += int(batch_size)
-            self._latencies.append(latency_s)
-            if len(self._latencies) > self._window:
-                del self._latencies[:-self._window]
+        self._record(batch_size, [latency_s], batched=False)
 
     def record_timeout(self, n: int = 1) -> None:
         with self._lock:
@@ -105,7 +113,6 @@ class ServerStats:
 
     def snapshot(self) -> dict:
         with self._lock:
-            lat = np.asarray(self._latencies, dtype=np.float64)
             elapsed = max(time.perf_counter() - self._started_at, 1e-9)
             out = {
                 "requests": self.requests,
@@ -116,9 +123,11 @@ class ServerStats:
                 "timeouts": self.timeouts,
                 "fallbacks": self.fallbacks,
             }
-            if lat.size:
-                out["latency_p50_ms"] = float(np.percentile(lat, 50) * 1e3)
-                out["latency_p99_ms"] = float(np.percentile(lat, 99) * 1e3)
+            if len(self._latencies):
+                p50, p95, p99 = self._latencies.percentile((50, 95, 99))
+                out["latency_p50_ms"] = p50 * 1e3
+                out["latency_p95_ms"] = p95 * 1e3
+                out["latency_p99_ms"] = p99 * 1e3
             return out
 
 
@@ -192,28 +201,33 @@ class Server:
 
     def _run_batch(self, batch: list[InferenceRequest]) -> None:
         deadline = self._batch_deadline(batch)
-        try:
-            stacked = np.stack([request.x for request in batch])
+        with _trace.span("serve.batch", cat="serve", batch=len(batch)):
             try:
-                out = self._execute(stacked, deadline)
-            except PoolUnavailable:
-                # The model's worker pool is gone for good: degrade to the
-                # in-process fallback rather than failing the batch.
-                if self._fallback_infer is None:
-                    raise
-                self.stats_.record_fallback()
-                out = self._fallback_infer(stacked)
-            for i, request in enumerate(batch):
-                request.set_result(out[i])
-        except RequestTimeout as exc:
-            # Batch-granularity deadline: the tightest request deadline
-            # aborted the whole batch (see the module docstring).
-            self.stats_.record_timeout(len(batch))
-            for request in batch:
-                request.set_error(exc)
-        except BaseException as exc:  # propagate to every waiting caller
-            for request in batch:
-                request.set_error(exc)
+                stacked = np.stack([request.x for request in batch])
+                try:
+                    out = self._execute(stacked, deadline)
+                except PoolUnavailable:
+                    # The model's worker pool is gone for good: degrade to the
+                    # in-process fallback rather than failing the batch.
+                    if self._fallback_infer is None:
+                        raise
+                    self.stats_.record_fallback()
+                    _trace.instant("serve.fallback", cat="fault",
+                                   batch=len(batch))
+                    out = self._fallback_infer(stacked)
+                for i, request in enumerate(batch):
+                    request.set_result(out[i])
+            except RequestTimeout as exc:
+                # Batch-granularity deadline: the tightest request deadline
+                # aborted the whole batch (see the module docstring).
+                self.stats_.record_timeout(len(batch))
+                _trace.instant("serve.batch_timeout", cat="fault",
+                               batch=len(batch))
+                for request in batch:
+                    request.set_error(exc)
+            except BaseException as exc:  # propagate to every waiting caller
+                for request in batch:
+                    request.set_error(exc)
         self.stats_.record_batch(batch)
 
     # ------------------------------------------------------------------ #
@@ -258,13 +272,17 @@ class Server:
             raise RuntimeError("server is closed")
         start = time.perf_counter()
         stacked = np.asarray(x)
-        try:
-            out = self._infer(stacked)
-        except PoolUnavailable:
-            if self._fallback_infer is None:
-                raise
-            self.stats_.record_fallback()
-            out = self._fallback_infer(stacked)
+        with _trace.span("serve.batch_direct", cat="serve",
+                         batch=int(stacked.shape[0])):
+            try:
+                out = self._infer(stacked)
+            except PoolUnavailable:
+                if self._fallback_infer is None:
+                    raise
+                self.stats_.record_fallback()
+                _trace.instant("serve.fallback", cat="fault",
+                               batch=int(stacked.shape[0]))
+                out = self._fallback_infer(stacked)
         self.stats_.record_direct(stacked.shape[0],
                                   time.perf_counter() - start)
         return out
@@ -273,12 +291,16 @@ class Server:
         """Throughput, latency, and robustness counters snapshot.
 
         Besides the serving counters, exposes the kernel-selection state of
-        this process: the autotune store counters (``"autotune"``), the plan
-        cache (``"plan_cache"``) and the codegen object store
-        (``"codegen_cache"``) — so which kernels serve and where they came
+        this process as one :data:`repro.obs.REGISTRY` collect: the autotune
+        store counters (``"autotune"``), the plan cache (``"plan_cache"``)
+        and the codegen object store (``"codegen_cache"``) — each with
+        unified ``hits``/``misses`` keys alongside their original
+        fine-grained counters — so which kernels serve and where they came
         from (memory, disk, benchmark, compile) is observable per server.
-        Pool workers are separate processes with their own counters; query
-        those through ``ShmWorkerPool.autotune_stats()``.
+        With :mod:`repro.obs` profiling enabled, ``"profile"`` carries the
+        per-plan kernel wall-time report.  Pool workers are separate
+        processes with their own counters; query those through
+        ``ShmWorkerPool.autotune_stats()``.
         """
         out = self.stats_.snapshot()
         out["queue_depth"] = self.batcher.pending()
@@ -287,14 +309,9 @@ class Server:
         out["shed"] = self.batcher.shed
         out["expired_in_queue"] = self.batcher.expired
         out["cancelled_skipped"] = self.batcher.cancelled_skipped
-        from ..engine import autotune, plan
-        from ..kernels import codegen
-        out["autotune"] = autotune.stats_dict()
-        pstats = plan.plan_cache_stats()
-        out["plan_cache"] = {"hits": pstats.hits, "misses": pstats.misses,
-                             "evictions": pstats.evictions,
-                             "size": pstats.size}
-        out["codegen_cache"] = codegen.stats_dict()
+        out.update(_metrics.REGISTRY.collect())
+        if _obs_profile.enabled():
+            out["profile"] = _obs_profile.report()
         return out
 
     # ------------------------------------------------------------------ #

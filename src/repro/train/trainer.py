@@ -31,6 +31,7 @@ from ..nn.data import DataLoader
 from ..nn.module import Module
 from ..nn.optim import Optimizer
 from ..nn.tensor import Tensor
+from ..obs import trace as _trace
 from ..utils.seeding import rng_state, set_rng_state
 from .aggregation import (GradStepJob, accumulate_replies, apply_step_results,
                           chunk_bounds, encode_frame, flatten_state)
@@ -146,10 +147,12 @@ class Trainer:
     # One optimizer step
     # ------------------------------------------------------------------ #
     def _step(self, images: np.ndarray, labels: np.ndarray) -> float:
-        if self.arena_pool is not None:
-            with self.arena_pool.lease() as arena, use_arena(arena):
-                return self._compute_step(images, labels)
-        return self._compute_step(images, labels)
+        with _trace.span("train.step", cat="train", step=self.global_step,
+                         batch=int(images.shape[0])):
+            if self.arena_pool is not None:
+                with self.arena_pool.lease() as arena, use_arena(arena):
+                    return self._compute_step(images, labels)
+            return self._compute_step(images, labels)
 
     def _compute_step(self, images: np.ndarray, labels: np.ndarray) -> float:
         logits = self.model(Tensor(images))
@@ -197,7 +200,9 @@ class Trainer:
         set_rng_state(state["rng"])
 
     def _commit(self) -> None:
-        self.store.save(self.global_step, self.state_dict())
+        with _trace.span("train.checkpoint_commit", cat="train",
+                         step=self.global_step):
+            self.store.save(self.global_step, self.state_dict())
 
     def resume(self) -> int:
         """Restore the newest valid checkpoint; returns its step (0 if none).
@@ -290,17 +295,23 @@ class DataParallelTrainer(Trainer):
             return super()._compute_step(images, labels)
         job = self._job
         n = images.shape[0]
-        params_flat, buffers_flat = flatten_state(self.model)
-        frames = [encode_frame(images[lo:hi], labels[lo:hi],
-                               params_flat, buffers_flat)
-                  for lo, hi in chunk_bounds(n, self.num_workers)]
+        with _trace.span("train.encode_shards", cat="train", shards=self.num_workers):
+            params_flat, buffers_flat = flatten_state(self.model)
+            frames = [encode_frame(images[lo:hi], labels[lo:hi],
+                                   params_flat, buffers_flat)
+                      for lo, hi in chunk_bounds(n, self.num_workers)]
         replies = None
         if self._pool is not None:
             from ..serve.errors import PoolUnavailable
             try:
-                replies = self._pool.map(frames)
+                # Shard dispatch + wait: the pool's own spans (pool.map,
+                # pool.job, worker.job) break this window down further.
+                with _trace.span("train.shard_dispatch", cat="train",
+                                 shards=len(frames)):
+                    replies = self._pool.map(frames)
             except PoolUnavailable:
                 self._degrade_inline()
+                _trace.instant("train.degraded_inline", cat="fault")
         if replies is None:
             # Same frames, same compiled job, same chunk order: the degraded
             # step is bit-identical to the pooled one.  Partial pool results
@@ -308,9 +319,10 @@ class DataParallelTrainer(Trainer):
             # effects because frames are pure inputs.
             compiled = self._local_grad_step()
             replies = [compiled(frame) for frame in frames]
-        mean_loss, grad_flat, bufs_flat = accumulate_replies(replies, job)
-        apply_step_results(self.model, job, grad_flat, bufs_flat)
-        self.optimizer.step()
+        with _trace.span("train.apply", cat="train"):
+            mean_loss, grad_flat, bufs_flat = accumulate_replies(replies, job)
+            apply_step_results(self.model, job, grad_flat, bufs_flat)
+            self.optimizer.step()
         return float(mean_loss)
 
     def _local_grad_step(self):

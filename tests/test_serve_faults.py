@@ -248,6 +248,34 @@ class TestPoolChaos:
             np.testing.assert_array_equal(pool.run(x), expected)
             assert pool.healthy
 
+    def test_kill_leaves_supervision_markers_in_trace(self, rng):
+        """A SIGKILL recovery renders as instant events on the timeline.
+
+        With ``repro.obs`` on, the supervisor's actions — worker death,
+        respawn, job retry — must appear as fault-category instant events
+        in the trace buffer, so a served request's recovery is auditable
+        in the exported timeline, not just in the stats counters.
+        """
+        from repro import obs
+        from repro.obs import trace as obs_trace
+        job = _job(rng)
+        x = rng.normal(size=(6, 3, 12, 12))
+        plan = FaultPlan().kill(worker=0, step=1)
+        obs_trace.reset()
+        with obs.enabled_scope():
+            with _spawn_pool(job, 2, faults=plan) as pool:
+                pool.run(x)
+                assert pool.stats()["restarts"] >= 1
+            events = obs_trace.events_snapshot()
+        obs_trace.reset()
+        names = {e[1] for e in events}
+        assert {"pool.worker_death", "pool.respawn", "pool.retry"} <= names
+        death = next(e for e in events if e[1] == "pool.worker_death")
+        assert death[0] == "i" and death[2] == "fault"
+        assert death[7]["worker"] == 0
+        retry = next(e for e in events if e[1] == "pool.retry")
+        assert retry[7]["attempt"] >= 1
+
 
 # --------------------------------------------------------------------------- #
 # Autotune cache under chaos: respawned workers re-warm from disk
